@@ -1,0 +1,67 @@
+// Command pabench runs the paper-reproduction experiments (DESIGN.md
+// Section 4) and prints their tables. EXPERIMENTS.md is generated from its
+// output.
+//
+// Usage:
+//
+//	pabench -list
+//	pabench -exp T1,F2 -seed 7
+//	pabench            # all experiments
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+
+	"shortcutpa/internal/bench"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "pabench:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("pabench", flag.ContinueOnError)
+	var (
+		list = fs.Bool("list", false, "list experiment IDs and exit")
+		exp  = fs.String("exp", "", "comma-separated experiment IDs (default: all)")
+		seed = fs.Int64("seed", 12345, "master seed")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	all := bench.Experiments()
+	ids := make([]string, 0, len(all))
+	for id := range all {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	if *list {
+		for _, id := range ids {
+			fmt.Println(id)
+		}
+		return nil
+	}
+	want := ids
+	if *exp != "" {
+		want = strings.Split(*exp, ",")
+	}
+	for _, id := range want {
+		fn, ok := all[strings.TrimSpace(id)]
+		if !ok {
+			return fmt.Errorf("unknown experiment %q (use -list)", id)
+		}
+		table, err := fn(*seed)
+		if err != nil {
+			return fmt.Errorf("experiment %s: %w", id, err)
+		}
+		fmt.Println(table.Format())
+	}
+	return nil
+}

@@ -1,0 +1,54 @@
+// Approximate SSSP (Corollary 1.5): the β tradeoff between rounds and
+// approximation quality, against exact Bellman-Ford and offline Dijkstra.
+//
+// Run: go run ./examples/shortestpaths
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"shortcutpa/internal/congest"
+	"shortcutpa/internal/core"
+	"shortcutpa/internal/graph"
+	"shortcutpa/internal/sssp"
+)
+
+func main() {
+	rng := rand.New(rand.NewSource(5))
+	g := graph.RandomizeWeights(graph.Path(200), 50, rng)
+	exact := g.Dijkstra(0)
+
+	for _, beta := range []float64{0, 0.5, 1.0} {
+		net := congest.NewNetwork(g, 5)
+		engine, err := core.NewEngine(net, core.Randomized)
+		if err != nil {
+			log.Fatal(err)
+		}
+		res, err := sssp.Approx(engine, 0, beta)
+		if err != nil {
+			log.Fatal(err)
+		}
+		worst := 1.0
+		for v := 0; v < g.N(); v++ {
+			if exact[v] > 0 {
+				if r := float64(res.Dist[v]) / float64(exact[v]); r > worst {
+					worst = r
+				}
+			}
+		}
+		fmt.Printf("beta=%.1f: meta-rounds=%3d  worst ratio=%.2f  rounds=%d\n",
+			beta, res.MetaRounds, worst, net.Total().Rounds)
+	}
+
+	net := congest.NewNetwork(g, 5)
+	engine, err := core.NewEngine(net, core.Randomized)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if _, err := sssp.BellmanFord(engine, 0); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("exact Bellman-Ford: rounds=%d (pays the full hop diameter)\n", net.Total().Rounds)
+}

@@ -1,0 +1,31 @@
+package bench
+
+import "testing"
+
+// TestAllExperimentsRun exercises every experiment end-to-end at the bench
+// sizes (the same paths cmd/pabench and the root benchmarks take).
+func TestAllExperimentsRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-second experiment sweep")
+	}
+	for id, fn := range Experiments() {
+		id, fn := id, fn
+		t.Run(id, func(t *testing.T) {
+			tab, err := fn(12345)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(tab.Rows) == 0 {
+				t.Fatal("experiment produced no rows")
+			}
+			if len(tab.Format()) == 0 {
+				t.Fatal("empty formatting")
+			}
+			for _, row := range tab.Rows {
+				if len(row) != len(tab.Headers) {
+					t.Fatalf("row width %d != header width %d: %v", len(row), len(tab.Headers), row)
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,289 @@
+// Package congest implements the synchronous CONGEST/KT0 message-passing
+// model of Peleg [36] that the paper works in (Section 2.1):
+//
+//   - the network is an undirected graph; communication proceeds in discrete
+//     synchronous rounds;
+//   - in each round every node may send one O(log n)-bit message along each
+//     incident edge; messages sent in round r are delivered at round r+1;
+//   - every node has an arbitrary unique O(log n)-bit ID, initially known
+//     only to itself (KT0); a node addresses neighbors only by local port.
+//
+// The engine is deterministic: nodes draw randomness from per-node PRNGs
+// seeded from a master seed, and nodes are stepped in index order (node
+// state is strictly local, so order cannot affect outcomes).
+//
+// Cost accounting follows the paper's measures: Rounds is the number of
+// synchronous rounds executed until global quiescence (or the budget), and
+// Messages counts every send. Quiescence — no node active and no message in
+// flight — is detected by the engine; in the paper nodes instead run each
+// phase for a precomputed worst-case budget, so engine detection only trims
+// trailing idle rounds and never alters protocol behaviour.
+package congest
+
+import (
+	"fmt"
+	"math/rand"
+
+	"shortcutpa/internal/graph"
+)
+
+// Message is one O(log n)-bit CONGEST message: a protocol-defined kind tag
+// and up to three machine words of payload (a constant number of O(log n)-bit
+// fields, as the model allows).
+type Message struct {
+	Kind    int32
+	A, B, C int64
+}
+
+// Incoming is a message as seen by its receiver, tagged with the local port
+// it arrived on.
+type Incoming struct {
+	Port int
+	Msg  Message
+}
+
+// Metrics accumulates the two cost measures of the paper.
+type Metrics struct {
+	Rounds   int64
+	Messages int64
+}
+
+// Add returns the component-wise sum of m and o.
+func (m Metrics) Add(o Metrics) Metrics {
+	return Metrics{Rounds: m.Rounds + o.Rounds, Messages: m.Messages + o.Messages}
+}
+
+// Phase records the cost of one named protocol phase.
+type Phase struct {
+	Name string
+	Cost Metrics
+}
+
+// Proc is a node's protocol state machine. Step is invoked once per round in
+// which the node is scheduled: round 0, any round with incoming messages,
+// and any round following a Step that returned true (active). Returning
+// false parks the node until a message wakes it.
+type Proc interface {
+	Step(ctx *Ctx) (active bool)
+}
+
+// ProcFunc adapts a function to the Proc interface.
+type ProcFunc func(ctx *Ctx) bool
+
+// Step implements Proc.
+func (f ProcFunc) Step(ctx *Ctx) bool { return f(ctx) }
+
+// link caches the far side of a port.
+type link struct {
+	to      int
+	revPort int
+}
+
+// Network binds a graph to the simulator: node IDs, per-node PRNGs, and
+// accumulated cost accounting across protocol phases.
+type Network struct {
+	g      *graph.Graph
+	seed   int64
+	ids    []int64
+	byID   map[int64]int
+	rngs   []*rand.Rand
+	links  [][]link
+	total  Metrics
+	phases []Phase
+}
+
+// NewNetwork wraps g for simulation. The seed determines node IDs and all
+// node randomness, making every execution reproducible.
+func NewNetwork(g *graph.Graph, seed int64) *Network {
+	n := g.N()
+	net := &Network{
+		g:     g,
+		seed:  seed,
+		ids:   make([]int64, n),
+		byID:  make(map[int64]int, n),
+		rngs:  make([]*rand.Rand, n),
+		links: make([][]link, n),
+	}
+	// Arbitrary unique IDs: an injective affine map of a seeded permutation,
+	// so IDs are unique, O(log n)-bit scale, and in random order (the KT0
+	// "arbitrary ID" assumption; see DESIGN.md on leader-election messages).
+	perm := rand.New(rand.NewSource(seed)).Perm(n)
+	for v := 0; v < n; v++ {
+		id := int64(perm[v])*2654435761 + 12345
+		net.ids[v] = id
+		net.byID[id] = v
+		net.rngs[v] = rand.New(rand.NewSource(seed ^ (int64(v+1) * 0x9E3779B9)))
+	}
+	for v := 0; v < n; v++ {
+		deg := g.Degree(v)
+		net.links[v] = make([]link, deg)
+		for p := 0; p < deg; p++ {
+			net.links[v][p] = link{to: g.Neighbor(v, p), revPort: g.ReversePort(v, p)}
+		}
+	}
+	return net
+}
+
+// Graph returns the underlying graph.
+func (n *Network) Graph() *graph.Graph { return n.g }
+
+// N returns the number of nodes.
+func (n *Network) N() int { return n.g.N() }
+
+// ID returns node v's unique O(log n)-bit identifier.
+func (n *Network) ID(v int) int64 { return n.ids[v] }
+
+// NodeByID returns the node index with the given ID, or -1.
+func (n *Network) NodeByID(id int64) int {
+	if v, ok := n.byID[id]; ok {
+		return v
+	}
+	return -1
+}
+
+// Seed returns the master seed.
+func (n *Network) Seed() int64 { return n.seed }
+
+// Total returns the cost accumulated over all phases run so far.
+func (n *Network) Total() Metrics { return n.total }
+
+// Phases returns the per-phase cost log.
+func (n *Network) Phases() []Phase {
+	out := make([]Phase, len(n.phases))
+	copy(out, n.phases)
+	return out
+}
+
+// ResetMetrics clears accumulated metrics (e.g. to exclude setup phases from
+// an experiment's accounting).
+func (n *Network) ResetMetrics() {
+	n.total = Metrics{}
+	n.phases = nil
+}
+
+// MergeCosts folds another accounting total into this network's, for
+// algorithms that run auxiliary simulations (e.g. MSTs under reweighted
+// copies of the same topology).
+func (n *Network) MergeCosts(m Metrics) {
+	n.total = n.total.Add(m)
+	n.phases = append(n.phases, Phase{Name: "merged", Cost: m})
+}
+
+// BudgetExceededError reports that a protocol did not quiesce within its
+// round budget.
+type BudgetExceededError struct {
+	Phase  string
+	Budget int64
+}
+
+// Error implements the error interface.
+func (e *BudgetExceededError) Error() string {
+	return fmt.Sprintf("congest: phase %q exceeded round budget %d", e.Phase, e.Budget)
+}
+
+// Run executes one protocol phase: procs[v] is node v's state machine. The
+// phase ends at global quiescence (no active node, no message in flight) or
+// fails with BudgetExceededError after maxRounds. The phase cost is recorded
+// under name and added to the network totals.
+func (n *Network) Run(name string, procs []Proc, maxRounds int64) (Metrics, error) {
+	if len(procs) != n.N() {
+		return Metrics{}, fmt.Errorf("congest: phase %q has %d procs for %d nodes", name, len(procs), n.N())
+	}
+	st := newRunState(n, procs)
+	var cost Metrics
+	for !st.quiescent() {
+		if cost.Rounds >= maxRounds {
+			n.record(name, cost)
+			return cost, &BudgetExceededError{Phase: name, Budget: maxRounds}
+		}
+		cost.Messages += st.step()
+		cost.Rounds++
+	}
+	n.record(name, cost)
+	return cost, nil
+}
+
+func (n *Network) record(name string, cost Metrics) {
+	n.total = n.total.Add(cost)
+	n.phases = append(n.phases, Phase{Name: name, Cost: cost})
+}
+
+// runState is the per-phase mutable simulation state.
+type runState struct {
+	net           *Network
+	procs         []Proc
+	round         int64
+	inbox         [][]Incoming
+	nextbox       [][]Incoming
+	active        []bool
+	started       bool
+	lastSend      []int64 // round of last send, flattened per (node, port)
+	portOff       []int   // node -> offset into lastSend
+	inFlight      int64
+	sentThisRound int64
+}
+
+func newRunState(n *Network, procs []Proc) *runState {
+	nn := n.N()
+	st := &runState{
+		net:     n,
+		procs:   procs,
+		inbox:   make([][]Incoming, nn),
+		nextbox: make([][]Incoming, nn),
+		active:  make([]bool, nn),
+		portOff: make([]int, nn+1),
+	}
+	off := 0
+	for v := 0; v < nn; v++ {
+		st.portOff[v] = off
+		off += n.g.Degree(v)
+	}
+	st.portOff[nn] = off
+	st.lastSend = make([]int64, off)
+	for i := range st.lastSend {
+		st.lastSend[i] = -1
+	}
+	return st
+}
+
+func (st *runState) quiescent() bool {
+	if !st.started {
+		return false
+	}
+	if st.inFlight > 0 {
+		return false
+	}
+	for _, a := range st.active {
+		if a {
+			return false
+		}
+	}
+	return true
+}
+
+// step runs one synchronous round and returns the number of messages sent.
+func (st *runState) step() int64 {
+	st.started = true
+	n := st.net.N()
+	var sent int64
+	ctx := Ctx{st: st}
+	for v := 0; v < n; v++ {
+		if !st.active[v] && len(st.inbox[v]) == 0 && st.round > 0 {
+			continue
+		}
+		ctx.v = v
+		before := st.sentThisRound
+		st.active[v] = st.procs[v].Step(&ctx)
+		sent += st.sentThisRound - before
+	}
+	// Deliver: swap inboxes.
+	st.inFlight = 0
+	for v := 0; v < n; v++ {
+		st.inbox[v] = st.inbox[v][:0]
+		st.inbox[v], st.nextbox[v] = st.nextbox[v], st.inbox[v]
+		st.inFlight += int64(len(st.inbox[v]))
+	}
+	st.round++
+	st.sentThisRound = 0
+	return sent
+}

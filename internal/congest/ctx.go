@@ -1,0 +1,63 @@
+package congest
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// Ctx is a node's window onto the network for one round of one phase. It
+// exposes exactly the KT0 CONGEST-local information: the node's own ID,
+// port count, per-node randomness, the messages delivered this round, and
+// the ability to send one message per port.
+type Ctx struct {
+	st *runState
+	v  int
+}
+
+// Node returns the node's index. Protocol code must treat this as an opaque
+// handle for indexing per-node state, never as knowledge about the network
+// (the model-visible identifier is ID).
+func (c *Ctx) Node() int { return c.v }
+
+// ID returns the node's unique O(log n)-bit identifier.
+func (c *Ctx) ID() int64 { return c.st.net.ids[c.v] }
+
+// Round returns the current round number within the phase (0-based).
+func (c *Ctx) Round() int64 { return c.st.round }
+
+// Degree returns the node's port count.
+func (c *Ctx) Degree() int { return len(c.st.net.links[c.v]) }
+
+// Rand returns the node's private PRNG.
+func (c *Ctx) Rand() *rand.Rand { return c.st.net.rngs[c.v] }
+
+// Recv returns the messages delivered to this node at the start of the
+// round. The slice is owned by the engine and valid only within Step.
+func (c *Ctx) Recv() []Incoming { return c.st.inbox[c.v] }
+
+// Send transmits one message over port p, to be delivered next round.
+// Sending twice on the same port in one round violates the CONGEST model
+// and panics: that is a protocol bug, not a runtime condition.
+func (c *Ctx) Send(p int, m Message) {
+	lk := c.st.net.links[c.v][p]
+	slot := c.st.portOff[c.v] + p
+	if c.st.lastSend[slot] == c.st.round {
+		panic(fmt.Sprintf("congest: node %d sent twice on port %d in round %d", c.v, p, c.st.round))
+	}
+	c.st.lastSend[slot] = c.st.round
+	c.st.nextbox[lk.to] = append(c.st.nextbox[lk.to], Incoming{Port: lk.revPort, Msg: m})
+	c.st.sentThisRound++
+}
+
+// CanSend reports whether port p is still free this round.
+func (c *Ctx) CanSend(p int) bool {
+	return c.st.lastSend[c.st.portOff[c.v]+p] != c.st.round
+}
+
+// Broadcast sends m on every port (one message per edge, as the model
+// allows).
+func (c *Ctx) Broadcast(m Message) {
+	for p := 0; p < c.Degree(); p++ {
+		c.Send(p, m)
+	}
+}

@@ -1,0 +1,84 @@
+package congest
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// Property-based tests (testing/quick) on the aggregation function algebra
+// the whole system leans on: Definition 1.1 requires f commutative and
+// associative; these properties are what make the router's arbitrary
+// adoption-tree evaluation order sound.
+
+func TestQuickCombinersCommutative(t *testing.T) {
+	combiners := map[string]Combine{
+		"MinPair": MinPair,
+		"MaxPair": MaxPair,
+		"SumPair": SumPair,
+		"OrPair":  OrPair,
+	}
+	for name, f := range combiners {
+		f := f
+		t.Run(name, func(t *testing.T) {
+			prop := func(a1, a2, b1, b2 int32) bool {
+				x := Val{A: int64(a1), B: int64(b1)}
+				y := Val{A: int64(a2), B: int64(b2)}
+				return f(x, y) == f(y, x)
+			}
+			if err := quick.Check(prop, nil); err != nil {
+				t.Error(err)
+			}
+		})
+	}
+}
+
+func TestQuickCombinersAssociative(t *testing.T) {
+	combiners := map[string]Combine{
+		"MinPair": MinPair,
+		"MaxPair": MaxPair,
+		"SumPair": SumPair,
+		"OrPair":  OrPair,
+	}
+	for name, f := range combiners {
+		f := f
+		t.Run(name, func(t *testing.T) {
+			prop := func(a1, a2, a3, b1, b2, b3 int32) bool {
+				x := Val{A: int64(a1), B: int64(b1)}
+				y := Val{A: int64(a2), B: int64(b2)}
+				z := Val{A: int64(a3), B: int64(b3)}
+				return f(f(x, y), z) == f(x, f(y, z))
+			}
+			if err := quick.Check(prop, nil); err != nil {
+				t.Error(err)
+			}
+		})
+	}
+}
+
+func TestQuickMinMaxIdempotentAndOrdered(t *testing.T) {
+	prop := func(a1, a2, b1, b2 int32) bool {
+		x := Val{A: int64(a1), B: int64(b1)}
+		y := Val{A: int64(a2), B: int64(b2)}
+		lo, hi := MinPair(x, y), MaxPair(x, y)
+		// Idempotence and min/max duality: {lo, hi} == {x, y}.
+		if MinPair(x, x) != x || MaxPair(y, y) != y {
+			return false
+		}
+		return (lo == x && hi == y) || (lo == y && hi == x)
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickMetricsAddAssociative(t *testing.T) {
+	prop := func(r1, r2, r3, m1, m2, m3 int32) bool {
+		a := Metrics{Rounds: int64(r1), Messages: int64(m1)}
+		b := Metrics{Rounds: int64(r2), Messages: int64(m2)}
+		c := Metrics{Rounds: int64(r3), Messages: int64(m3)}
+		return a.Add(b).Add(c) == a.Add(b.Add(c))
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Error(err)
+	}
+}

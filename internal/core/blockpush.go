@@ -1,0 +1,350 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"shortcutpa/internal/congest"
+	"shortcutpa/internal/tree"
+)
+
+// blockpush.go reproduces the prior-work aggregation flow of Section 3.1
+// verbatim: "every node in the block transmits its value up the block
+// (along the tree's edges); when values from the same part arrive at a node
+// in the block, they are aggregated by applying f and then forwarded up the
+// block as a single value. By the end of this process, the root of the
+// block has computed f of the block and can broadcast the result back
+// down."
+//
+// On the Figure 2a grid-star instance (tree rooted at the apex r, every
+// node claiming its column path) the values of a row part can only merge at
+// r, so the up phase alone costs Ω(nD) messages — the paper's lower-bound
+// demonstration for [GH16]/[HIZ16]-style aggregation. Solve with sub-part
+// divisions does the same job in Õ(m).
+//
+// BlockPushAggregate requires every part to be spanned by a single block
+// (as in the figure); it reports an error otherwise. It is an
+// experiment-grade baseline: the round schedule (up-phase deadline) is set
+// engine-side from D and the measured congestion, as prior work sets it
+// from known worst-case bounds.
+
+// NewEngineAt is NewEngine with the BFS root pinned to a chosen node,
+// used to reproduce figures whose construction fixes the root (Figure 2a
+// roots the tree at the apex). Costs are accounted like NewEngine's,
+// minus the election.
+func NewEngineAt(net *congest.Network, mode Mode, root int) (*Engine, error) {
+	n := net.N()
+	budget := int64(16*n + 4096)
+	t, err := tree.BuildBFS(net, root, budget)
+	if err != nil {
+		return nil, fmt.Errorf("core: BFS tree: %w", err)
+	}
+	vals := make([]congest.Val, n)
+	for v := 0; v < n; v++ {
+		vals[v] = congest.Val{A: int64(t.Depth[v]), B: 1}
+	}
+	agg, err := tree.Convergecast(net, t, vals,
+		func(x, y congest.Val) congest.Val {
+			return congest.Val{A: max(x.A, y.A), B: x.B + y.B}
+		}, nil, budget)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := tree.Broadcast(net, t, agg[t.Root], budget); err != nil {
+		return nil, err
+	}
+	return &Engine{
+		Net: net, Tree: t, Mode: mode, N: n,
+		D:         max(agg[t.Root].A, 1),
+		budgetCap: budget,
+	}, nil
+}
+
+// Block-push message kinds.
+const (
+	kPushUp int32 = iota + 110
+	kPushDown
+)
+
+// BlockPushAggregate runs the Section 3.1 prior-work aggregation over the
+// shortcut in inf (typically built with InfraOptions.SingletonSubParts).
+// Covered parts aggregate on their part tree as usual; every uncovered part
+// must be spanned by one block.
+func (e *Engine) BlockPushAggregate(inf *Infra, vals []congest.Val, f congest.Combine) (*Result, error) {
+	if err := e.checkSingleBlock(inf); err != nil {
+		return nil, err
+	}
+	n := e.N
+	upDeadline := e.D + int64(inf.SC.Congestion()) + int64(e.N/(int(e.D)+1)) + 32
+	procs := make([]congest.Proc, n)
+	impls := make([]*pushProc, n)
+	for v := 0; v < n; v++ {
+		impls[v] = &pushProc{e: e, inf: inf, f: f, v: v, val: vals[v], deadline: upDeadline}
+		procs[v] = impls[v]
+	}
+	if _, err := e.Net.Run("core/blockpush", procs, e.maxBudget()); err != nil {
+		return nil, fmt.Errorf("core: block push: %w", err)
+	}
+	for v := 0; v < n; v++ {
+		if impls[v].lost {
+			return nil, fmt.Errorf("core: block-push schedule too tight at node %d; instance unsuitable for this baseline", v)
+		}
+	}
+	// Covered parts aggregate on their part trees (same machinery as Solve,
+	// with an empty shortcut contribution).
+	coveredVals, err := e.coveredPartAggregate(inf, vals, f)
+	if err != nil {
+		return nil, err
+	}
+	out := &Result{Values: make([]congest.Val, n), Infra: inf}
+	for v := 0; v < n; v++ {
+		if inf.PB.Covered[v] {
+			out.Values[v] = coveredVals[v]
+			continue
+		}
+		if !impls[v].haveResult {
+			return nil, fmt.Errorf("core: block push left node %d without a result", v)
+		}
+		out.Values[v] = impls[v].result
+	}
+	return out, nil
+}
+
+// checkSingleBlock verifies every uncovered part is spanned by one block
+// (engine-side suitability check for the baseline).
+func (e *Engine) checkSingleBlock(inf *Infra) error {
+	counts := inf.SC.BlockCounts()
+	seen := make(map[int64]bool)
+	for v := 0; v < e.N; v++ {
+		if inf.PB.Covered[v] {
+			continue
+		}
+		i := inf.In.LeaderID[v]
+		if !inf.SC.OnBlock(v, i) {
+			return fmt.Errorf("core: node %d of part %d is off-block; block-push baseline needs spanning blocks", v, i)
+		}
+		seen[i] = true
+	}
+	for i := range seen {
+		if counts[i] != 1 {
+			return fmt.Errorf("core: part %d has %d blocks; block-push baseline needs exactly 1", i, counts[i])
+		}
+	}
+	return nil
+}
+
+// coveredPartAggregate aggregates covered parts on their part trees with a
+// plain convergecast + broadcast (both the paper's algorithm and the
+// baselines handle small parts this way, so its cost is common-mode and
+// kept out of the block-push comparison's differences).
+func (e *Engine) coveredPartAggregate(inf *Infra, vals []congest.Val, f congest.Combine) ([]congest.Val, error) {
+	anyCovered := false
+	for v := 0; v < e.N; v++ {
+		if inf.PB.Covered[v] {
+			anyCovered = true
+		}
+	}
+	out := make([]congest.Val, e.N)
+	if !anyCovered {
+		return out, nil
+	}
+	n := e.N
+	procs := make([]congest.Proc, n)
+	for v := 0; v < n; v++ {
+		procs[v] = &coveredAggProc{inf: inf, f: f, v: v, val: vals[v], out: out}
+	}
+	if _, err := e.Net.Run("core/covered-agg", procs, e.maxBudget()); err != nil {
+		return nil, fmt.Errorf("core: covered-part aggregation: %w", err)
+	}
+	return out, nil
+}
+
+const (
+	kCovUp int32 = iota + 115
+	kCovDown
+)
+
+// coveredAggProc is a convergecast + result broadcast on a covered part's
+// intra-part BFS tree.
+type coveredAggProc struct {
+	inf     *Infra
+	f       congest.Combine
+	v       int
+	val     congest.Val
+	out     []congest.Val
+	waiting int
+	fired   bool
+}
+
+func (p *coveredAggProc) Step(ctx *congest.Ctx) bool {
+	pb, v := p.inf.PB, p.v
+	if !pb.Covered[v] {
+		return false
+	}
+	if ctx.Round() == 0 {
+		p.waiting = len(pb.ChildPorts[v])
+	}
+	for _, in := range ctx.Recv() {
+		switch in.Msg.Kind {
+		case kCovUp:
+			p.val = p.f(p.val, congest.Val{A: in.Msg.A, B: in.Msg.B})
+			p.waiting--
+		case kCovDown:
+			p.out[v] = congest.Val{A: in.Msg.A, B: in.Msg.B}
+			for _, q := range pb.ChildPorts[v] {
+				ctx.Send(q, in.Msg)
+			}
+		}
+	}
+	if p.waiting == 0 && !p.fired {
+		p.fired = true
+		if pb.ParentPort[v] >= 0 {
+			ctx.Send(pb.ParentPort[v], congest.Message{Kind: kCovUp, A: p.val.A, B: p.val.B})
+		} else {
+			p.out[v] = p.val
+			for _, q := range pb.ChildPorts[v] {
+				ctx.Send(q, congest.Message{Kind: kCovDown, A: p.val.A, B: p.val.B})
+			}
+		}
+	}
+	return false
+}
+
+// pushProc is one node's block-push state.
+type pushProc struct {
+	e        *Engine
+	inf      *Infra
+	f        congest.Combine
+	v        int
+	val      congest.Val
+	deadline int64
+
+	pending    map[int64]congest.Val // accumulated, not yet forwarded up
+	order      []int64               // FIFO of parts with pending values
+	rootAgg    map[int64]congest.Val
+	rootHas    map[int64]bool
+	downQueue  map[int][]congest.Message
+	haveResult bool
+	result     congest.Val
+	finalized  bool
+	lost       bool // a value missed the schedule: baseline unsuitable here
+}
+
+func (p *pushProc) Step(ctx *congest.Ctx) bool {
+	inf, v := p.inf, p.v
+	sc := inf.SC
+	myPart := inf.In.LeaderID[v]
+	if ctx.Round() == 0 {
+		p.pending = make(map[int64]congest.Val)
+		p.rootAgg = make(map[int64]congest.Val)
+		p.rootHas = make(map[int64]bool)
+		p.downQueue = make(map[int][]congest.Message)
+		if !inf.PB.Covered[v] {
+			p.add(myPart, p.val)
+		}
+	}
+	for _, in := range ctx.Recv() {
+		switch in.Msg.Kind {
+		case kPushUp:
+			if p.finalized {
+				p.lost = true
+				continue
+			}
+			p.add(in.Msg.A, congest.Val{A: in.Msg.B, B: in.Msg.C})
+		case kPushDown:
+			i := in.Msg.A
+			if i == myPart && !p.haveResult {
+				p.haveResult = true
+				p.result = congest.Val{A: in.Msg.B, B: in.Msg.C}
+			}
+			for _, q := range sc.DownPorts[v][i] {
+				if q != in.Port {
+					p.downQueue[q] = append(p.downQueue[q], in.Msg)
+				}
+			}
+		}
+	}
+	// Up phase: forward one pending part's (merged) value per round; values
+	// stop at the part's block root, accumulating there.
+	if ctx.Round() < p.deadline && len(p.order) > 0 {
+		i := p.order[0]
+		val := p.pending[i]
+		if sc.HasUp(v, i) {
+			p.order = p.order[1:]
+			delete(p.pending, i)
+			ctx.Send(p.e.Tree.ParentPort[v], congest.Message{Kind: kPushUp, A: i, B: val.A, C: val.B})
+		} else {
+			// Block root for i: fold into the root accumulator.
+			p.order = p.order[1:]
+			delete(p.pending, i)
+			if p.rootHas[i] {
+				p.rootAgg[i] = p.f(p.rootAgg[i], val)
+			} else {
+				p.rootAgg[i] = val
+				p.rootHas[i] = true
+			}
+		}
+	}
+	// At the deadline, block roots finalize and start the down broadcast.
+	if ctx.Round() == p.deadline && !p.finalized {
+		p.finalized = true
+		// A value still in transit at the deadline means the schedule was
+		// too tight for this instance; flag it so the caller gets an error
+		// instead of a silent wrong answer.
+		if len(p.order) > 0 {
+			p.lost = true
+		}
+		p.order = nil
+		p.pending = make(map[int64]congest.Val)
+		roots := make([]int64, 0, len(p.rootAgg))
+		for i := range p.rootAgg {
+			roots = append(roots, i)
+		}
+		sort.Slice(roots, func(a, b int) bool { return roots[a] < roots[b] })
+		for _, i := range roots {
+			if !sc.IsBlockRoot(v, i) {
+				continue
+			}
+			val := p.rootAgg[i]
+			if i == myPart && !inf.PB.Covered[v] && !p.haveResult {
+				p.haveResult = true
+				p.result = val
+			}
+			m := congest.Message{Kind: kPushDown, A: i, B: val.A, C: val.B}
+			for _, q := range sc.DownPorts[v][i] {
+				p.downQueue[q] = append(p.downQueue[q], m)
+			}
+		}
+	}
+	// Down phase: one message per port per round.
+	pendingDown := false
+	ports := make([]int, 0, len(p.downQueue))
+	for q := range p.downQueue {
+		ports = append(ports, q)
+	}
+	sort.Ints(ports)
+	for _, q := range ports {
+		queue := p.downQueue[q]
+		if len(queue) == 0 {
+			continue
+		}
+		if ctx.CanSend(q) {
+			ctx.Send(q, queue[0])
+			p.downQueue[q] = queue[1:]
+		}
+		if len(p.downQueue[q]) > 0 {
+			pendingDown = true
+		}
+	}
+	return ctx.Round() <= p.deadline || len(p.order) > 0 || pendingDown
+}
+
+// add merges an incoming value into the per-part pending accumulator.
+func (p *pushProc) add(i int64, val congest.Val) {
+	if have, ok := p.pending[i]; ok {
+		p.pending[i] = p.f(have, val)
+		return
+	}
+	p.pending[i] = val
+	p.order = append(p.order, i)
+}

@@ -1,0 +1,224 @@
+package core
+
+import (
+	"fmt"
+
+	"shortcutpa/internal/congest"
+	"shortcutpa/internal/part"
+	"shortcutpa/internal/subpart"
+)
+
+// deterministic.go implements the deterministic pipeline of Section 6:
+// Algorithm 6 (deterministic sub-part division, delegated to
+// internal/subpart) and Algorithms 7+8 (deterministic shortcut
+// construction over the heavy-path decomposition [39]).
+//
+// Algorithm 8's shape: representatives of active parts deposit their part
+// ID at their heavy-path position; heavy paths are processed in waves by
+// light level (paths with no incoming light edges first). Within a path,
+// Algorithm 7's doubling schedule merges request sets upward: at iteration
+// i, the node at index ≡ 2^i (mod 2^(i+1)) streams its accumulated set one
+// part per round toward the node 2^i higher (clamped to the path top);
+// every edge crossed is claimed by the streamed parts; a node whose set
+// holds 2c parts "breaks" its path edge and discards the set (those parts'
+// blocks root below the break — the congestion cap of Lemma 6.6). Path
+// tops then stream their surviving sets across their (light) parent edges
+// into the next wave's paths (Algorithm 8 line 12). All actions are
+// scheduled by round number from globally known quantities (D, c = R, path
+// indices, levels), as deterministic CONGEST algorithms are.
+//
+// The outer loop — verify coverage per part (Algorithm 2), freeze winners,
+// retry the rest, double the budget on stagnation — is the driver shared
+// with the randomized construction (construct.go).
+
+// DeterministicDivision computes a sub-part division via Algorithm 6.
+func DeterministicDivision(e *Engine, in *part.Info, pb *part.BFS) (*subpart.Division, error) {
+	return subpart.DeterministicDivision(e.Net, in, pb, e.D, e.maxBudget())
+}
+
+// buildShortcutDeterministic is Algorithm 8 under the shared driver.
+func (e *Engine) buildShortcutDeterministic(inf *Infra) error {
+	if err := e.EnsureHeavy(); err != nil {
+		return err
+	}
+	return e.runConstructionDriver(inf, e.heavyPathClaim)
+}
+
+const kPathClaim int32 = 160
+
+// pathSchedule is the global round schedule for one Algorithm 8 sweep
+// under threshold 2c: iteration windows within a wave, and the wave count.
+type pathSchedule struct {
+	iters      int
+	iterStart  []int64
+	lightStart int64 // within-wave round when path tops start light streams
+	waveLength int64
+	waves      int64
+}
+
+func newPathSchedule(e *Engine, c int64) *pathSchedule {
+	s := &pathSchedule{}
+	maxLen := int64(2)
+	for v := 0; v < e.N; v++ {
+		if e.Heavy.Length[v] > maxLen {
+			maxLen = e.Heavy.Length[v]
+		}
+	}
+	off := int64(0)
+	for i := 0; int64(1)<<i < maxLen; i++ {
+		s.iterStart = append(s.iterStart, off)
+		off += (int64(1) << i) + 2*c + 4 // stream travel + stream length + slack
+		s.iters = i + 1
+	}
+	s.lightStart = off
+	s.waveLength = off + 2*c + 8
+	s.waves = int64(e.Heavy.MaxLevel) + 1
+	return s
+}
+
+// heavyPathClaim runs one full Algorithm 7+8 claim sweep for the active
+// parts (the construction callback for the shared driver).
+func (e *Engine) heavyPathClaim(inf *Infra, active []int64) error {
+	sched := newPathSchedule(e, inf.Budget)
+	activeSet := make(map[int64]struct{}, len(active))
+	for _, id := range active {
+		activeSet[id] = struct{}{}
+	}
+	n := e.N
+	procs := make([]congest.Proc, n)
+	for v := 0; v < n; v++ {
+		procs[v] = &pathProc{e: e, inf: inf, sched: sched, active: activeSet, v: v, threshold: 2 * inf.Budget}
+	}
+	budget := sched.waveLength*sched.waves + 4*inf.Budget + 256
+	if _, err := e.Net.Run("core/heavypath", procs, budget); err != nil {
+		return fmt.Errorf("core: heavy-path construction: %w", err)
+	}
+	return nil
+}
+
+// pathProc is one node's Algorithm 7/8 state.
+type pathProc struct {
+	e         *Engine
+	inf       *Infra
+	sched     *pathSchedule
+	active    map[int64]struct{}
+	v         int
+	threshold int64
+
+	set       []int64            // accumulated request set (the paper's S(v))
+	seen      map[int64]struct{} // accumulation dedup
+	broken    bool               // my path-parent edge is broken
+	stream    []int64            // elements in flight on the path-parent edge
+	streamDst int64              // their destination index on my path
+	lightQ    []int64            // elements in flight on the light parent edge
+}
+
+func (p *pathProc) Step(ctx *congest.Ctx) bool {
+	h := p.e.Heavy
+	v := p.v
+	if ctx.Round() == 0 {
+		p.seen = make(map[int64]struct{})
+		if p.inf.Div.IsRep[v] && !p.inf.Div.WholePart[v] {
+			if _, ok := p.active[p.inf.In.LeaderID[v]]; ok {
+				p.accumulate(p.inf.In.LeaderID[v])
+			}
+		}
+	}
+	round := ctx.Round()
+	wave := round / p.sched.waveLength
+	inWave := round % p.sched.waveLength
+	myLevel := int64(h.Level[v])
+	if wave == myLevel {
+		p.stepOwnWave(ctx, inWave)
+	}
+
+	for _, m := range ctx.Recv() {
+		if m.Msg.Kind != kPathClaim {
+			continue
+		}
+		i := m.Msg.A
+		p.inf.SC.AddDownPort(v, i, m.Port) // the crossed edge carries part i
+		dst := m.Msg.B
+		if dst == 0 || dst <= h.Index[v] || p.broken {
+			// Destination reached (0 = light-edge delivery), or the path is
+			// broken above: the set element stays here.
+			p.accumulate(i)
+			continue
+		}
+		// Relay toward dst, claiming my parent path edge as it crosses.
+		p.stream = append(p.stream, i)
+		p.streamDst = dst
+	}
+	p.flushStreams(ctx)
+	busy := len(p.stream) > 0 || len(p.lightQ) > 0
+	return busy || wave <= myLevel
+}
+
+// stepOwnWave fires the node's scheduled duties during its path's wave.
+func (p *pathProc) stepOwnWave(ctx *congest.Ctx, inWave int64) {
+	h := p.e.Heavy
+	v := p.v
+	idx := h.Index[v]
+	if !h.IsTop(v) {
+		for i := 0; i < p.sched.iters; i++ {
+			if inWave != p.sched.iterStart[i] {
+				continue
+			}
+			step := int64(1) << i
+			if idx%(2*step) != step {
+				continue
+			}
+			// My send iteration (Algorithm 7 line 4).
+			if int64(len(p.set)) >= p.threshold {
+				p.broken = true // break (v, v+1); drop the set
+				p.set = nil
+				continue
+			}
+			dst := min(idx+step, h.Length[v])
+			p.stream = append(p.stream, p.set...)
+			p.streamDst = dst
+			p.set = nil
+		}
+		return
+	}
+	// Path top: at the light window, stream the surviving set across the
+	// light parent edge (Algorithm 8 line 12). The root path's top has no
+	// parent: its set simply rests (claims end at the root).
+	if inWave == p.sched.lightStart && !p.broken && p.e.Tree.ParentPort[v] >= 0 {
+		p.lightQ = append(p.lightQ, p.set...)
+		p.set = nil
+	}
+}
+
+func (p *pathProc) accumulate(i int64) {
+	if _, ok := p.seen[i]; ok {
+		return
+	}
+	p.seen[i] = struct{}{}
+	p.set = append(p.set, i)
+}
+
+// flushStreams sends one element per round per edge. The path-parent and
+// light-parent edges are distinct uses of the same physical tree parent
+// port depending on whether the node tops its path, so there is no port
+// contention.
+func (p *pathProc) flushStreams(ctx *congest.Ctx) {
+	h := p.e.Heavy
+	v := p.v
+	if len(p.stream) > 0 && !p.broken {
+		if pp := h.UpPathPort(p.e.Tree, v); pp >= 0 && ctx.CanSend(pp) {
+			part := p.stream[0]
+			p.stream = p.stream[1:]
+			p.inf.SC.ClaimUp(v, part)
+			ctx.Send(pp, congest.Message{Kind: kPathClaim, A: part, B: p.streamDst})
+		}
+	}
+	if len(p.lightQ) > 0 {
+		if lp := p.e.Tree.ParentPort[v]; lp >= 0 && ctx.CanSend(lp) {
+			part := p.lightQ[0]
+			p.lightQ = p.lightQ[1:]
+			p.inf.SC.ClaimUp(v, part)
+			ctx.Send(lp, congest.Message{Kind: kPathClaim, A: part, B: 0})
+		}
+	}
+}

@@ -1,0 +1,245 @@
+package core
+
+import (
+	"fmt"
+
+	"shortcutpa/internal/congest"
+	"shortcutpa/internal/graph"
+	"shortcutpa/internal/part"
+	"shortcutpa/internal/subpart"
+)
+
+// leaderless.go implements Appendix B / Algorithm 9: converting the PA
+// algorithm with known leaders into one without the assumption, at a
+// logarithmic overhead. Groups start as singletons (every node its own
+// leader) and coarsen by repeated star joinings — each group picks an edge
+// to another group inside the same part, a star joining designates
+// joiners, and joiners adopt their receiver's leader — until groups equal
+// parts, at which point every part knows a leader and the main algorithm
+// runs.
+
+// Aggregator returns a PA-backed aggregation service over partition in
+// (with known leaders): infrastructure is built on first use and reused,
+// so a star joining's O(log* n) aggregations pay construction once.
+func (e *Engine) Aggregator(in *part.Info) subpart.Agg {
+	return &paAgg{e: e, in: in}
+}
+
+// AggregatorOpts is Aggregator with infrastructure ablation options (used
+// by application baselines, e.g. Borůvka without shortcuts).
+func (e *Engine) AggregatorOpts(in *part.Info, opts InfraOptions) subpart.Agg {
+	return &paAgg{e: e, in: in, opts: &opts}
+}
+
+type paAgg struct {
+	e    *Engine
+	in   *part.Info
+	inf  *Infra
+	opts *InfraOptions
+}
+
+// Aggregate implements subpart.Agg.
+func (a *paAgg) Aggregate(vals []congest.Val, f congest.Combine) ([]congest.Val, error) {
+	if a.inf == nil {
+		var inf *Infra
+		var err error
+		if a.opts != nil {
+			inf, err = a.e.BuildInfraOpts(a.in, *a.opts)
+		} else {
+			inf, err = a.e.BuildInfra(a.in)
+		}
+		if err != nil {
+			return nil, err
+		}
+		a.inf = inf
+	}
+	res, err := a.e.SolveWithInfra(a.inf, vals, f)
+	if err != nil {
+		return nil, err
+	}
+	return res.Values, nil
+}
+
+// Message kinds for group coarsening.
+const (
+	kAdoptQ int32 = iota + 120
+	kAdoptA
+	kGroupX
+)
+
+// SolveLeaderless solves PA when no part leaders are known (Lemma B.1):
+// O(log n) star-joining coarsening levels, then the leader-based Solve.
+// On return, in has leaders installed (so follow-up calls can use Solve).
+func (e *Engine) SolveLeaderless(in *part.Info, vals []congest.Val, f congest.Combine) (*Result, error) {
+	if err := e.CoarsenToLeaders(in); err != nil {
+		return nil, err
+	}
+	return e.Solve(in, vals, f)
+}
+
+// CoarsenToLeaders elects part leaders via Algorithm 9's coarsening,
+// installing them into in.
+func (e *Engine) CoarsenToLeaders(in *part.Info) error {
+	n := e.N
+	g := e.Net.Graph()
+
+	// Group state: leader IDs and group-membership per port.
+	leader := make([]int64, n)
+	sameGroup := make([][]bool, n)
+	for v := 0; v < n; v++ {
+		leader[v] = e.Net.ID(v)
+		sameGroup[v] = make([]bool, g.Degree(v))
+	}
+	dsu := graph.NewDSU(n) // engine-side dense labels for Dense/diagnostics
+
+	maxLevels := 2*log2(n) + 8
+	for level := 0; ; level++ {
+		if level > maxLevels {
+			return fmt.Errorf("core: leaderless coarsening did not converge in %d levels", maxLevels)
+		}
+		labels, _ := dsu.Labels()
+		gi := &part.Info{
+			SamePart: sameGroup,
+			LeaderID: leader,
+			IsLeader: make([]bool, n),
+			Dense:    labels,
+		}
+		for v := 0; v < n; v++ {
+			gi.IsLeader[v] = leader[v] == e.Net.ID(v)
+		}
+
+		// Candidate out-edges: same original part, different group. Each
+		// group picks the minimum (endpoint ID, port).
+		agg := e.Aggregator(gi)
+		cand := make([]congest.Val, n)
+		hasAny := false
+		for v := 0; v < n; v++ {
+			cand[v] = congest.Val{A: 1 << 62}
+			for q := 0; q < g.Degree(v); q++ {
+				if in.SamePart[v][q] && !sameGroup[v][q] {
+					val := congest.Val{A: e.Net.ID(v), B: int64(q)}
+					cand[v] = congest.MinPair(cand[v], val)
+					hasAny = true
+				}
+			}
+		}
+		if !hasAny {
+			break // groups == parts everywhere
+		}
+		mins, err := agg.Aggregate(cand, congest.MinPair)
+		if err != nil {
+			return fmt.Errorf("core: coarsening level %d: %w", level, err)
+		}
+		chosen := make([]int, n)
+		for v := 0; v < n; v++ {
+			chosen[v] = -1
+			if mins[v].A == e.Net.ID(v) && mins[v].A != 1<<62 {
+				chosen[v] = int(mins[v].B)
+			}
+		}
+
+		res, err := subpart.StarJoin(e.Net, gi, chosen, agg, e.Mode == Deterministic, int64(level), e.maxBudget())
+		if err != nil {
+			return fmt.Errorf("core: star joining level %d: %w", level, err)
+		}
+
+		// Joiners adopt the receiver's leader: the chosen endpoint asks
+		// across the edge, the answer rides an aggregation to the group.
+		if err := e.AdoptJoinerLeaders(chosen, res, leader, agg); err != nil {
+			return err
+		}
+		// Refresh group membership: everyone announces its (possibly new)
+		// leader on every port.
+		if err := e.ExchangeLeaderIDs(leader, sameGroup); err != nil {
+			return err
+		}
+		for v := 0; v < n; v++ {
+			if res.Role[v] == subpart.RoleJoiner && chosen[v] >= 0 {
+				dsu.Union(v, g.Neighbor(v, chosen[v]))
+			}
+		}
+	}
+
+	in.SetLeaders(leader, nil)
+	for v := 0; v < n; v++ {
+		in.IsLeader[v] = leader[v] == e.Net.ID(v)
+	}
+	return nil
+}
+
+// AdoptJoinerLeaders completes a star joining's merges: joiner endpoints
+// query the far side's leader ID across the chosen edge and the answer
+// spreads group-wide via one aggregation; members of joiner groups update
+// leader[] in place. Shared by Algorithm 9 and the Borůvka MST.
+func (e *Engine) AdoptJoinerLeaders(chosen []int, res *subpart.StarJoinResult,
+	leader []int64, agg subpart.Agg) error {
+	n := e.N
+	answer := make([]int64, n)
+	for v := range answer {
+		answer[v] = -1
+	}
+	procs := make([]congest.Proc, n)
+	for v := 0; v < n; v++ {
+		v := v
+		procs[v] = congest.ProcFunc(func(ctx *congest.Ctx) bool {
+			if ctx.Round() == 0 && res.Role[v] == subpart.RoleJoiner && chosen[v] >= 0 {
+				ctx.Send(chosen[v], congest.Message{Kind: kAdoptQ})
+			}
+			for _, m := range ctx.Recv() {
+				switch m.Msg.Kind {
+				case kAdoptQ:
+					ctx.Send(m.Port, congest.Message{Kind: kAdoptA, A: leader[v]})
+				case kAdoptA:
+					answer[v] = m.Msg.A
+				}
+			}
+			return false
+		})
+	}
+	if _, err := e.Net.Run("core/adopt", procs, e.maxBudget()); err != nil {
+		return err
+	}
+	vals := make([]congest.Val, n)
+	for v := 0; v < n; v++ {
+		vals[v] = congest.Val{A: answer[v]}
+	}
+	got, err := agg.Aggregate(vals, congest.MaxPair)
+	if err != nil {
+		return err
+	}
+	for v := 0; v < n; v++ {
+		if res.Role[v] == subpart.RoleJoiner && got[v].A >= 0 {
+			leader[v] = got[v].A
+		}
+	}
+	return nil
+}
+
+// ExchangeLeaderIDs refreshes same-group port flags from a one-round
+// leader-ID exchange on every edge.
+func (e *Engine) ExchangeLeaderIDs(leader []int64, sameGroup [][]bool) error {
+	n := e.N
+	procs := make([]congest.Proc, n)
+	for v := 0; v < n; v++ {
+		v := v
+		procs[v] = congest.ProcFunc(func(ctx *congest.Ctx) bool {
+			if ctx.Round() == 0 {
+				ctx.Broadcast(congest.Message{Kind: kGroupX, A: leader[v]})
+			}
+			for _, m := range ctx.Recv() {
+				sameGroup[v][m.Port] = m.Msg.A == leader[v]
+			}
+			return false
+		})
+	}
+	_, err := e.Net.Run("core/group-exchange", procs, e.maxBudget())
+	return err
+}
+
+func log2(n int) int {
+	k := 0
+	for s := 1; s < n; s *= 2 {
+		k++
+	}
+	return k
+}

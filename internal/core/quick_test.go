@@ -1,0 +1,74 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"shortcutpa/internal/congest"
+	"shortcutpa/internal/graph"
+	"shortcutpa/internal/part"
+)
+
+// Property-based end-to-end test: on randomly drawn (graph, partition,
+// values, combiner, seed) instances, Solve must agree with the offline
+// per-part reduction at every node. This is the Definition 1.1 contract
+// under testing/quick's generator.
+
+// paInstance is a randomly generated PA instance descriptor.
+type paInstance struct {
+	N      uint8 // 16..95 nodes
+	Degree uint8 // edge density knob
+	Parts  uint8 // 1..8 parts
+	FIdx   uint8
+	Seed   int64
+}
+
+func TestQuickSolveMatchesOracle(t *testing.T) {
+	if testing.Short() {
+		t.Skip("randomized end-to-end sweep")
+	}
+	combiners := []congest.Combine{congest.SumPair, congest.MinPair, congest.MaxPair, congest.OrPair}
+	prop := func(inst paInstance) bool {
+		n := 16 + int(inst.N)%80
+		k := 1 + int(inst.Parts)%8
+		p := (1.5 + float64(inst.Degree%40)/10) / float64(n)
+		rng := rand.New(rand.NewSource(inst.Seed))
+		g := graph.RandomConnected(n, p, rng)
+		parts := graph.RandomConnectedPartition(g, k, rng)
+		f := combiners[int(inst.FIdx)%len(combiners)]
+
+		net := congest.NewNetwork(g, inst.Seed)
+		e, err := NewEngine(net, Randomized)
+		if err != nil {
+			t.Logf("engine: %v", err)
+			return false
+		}
+		in, err := part.FromDense(net, parts)
+		if err != nil {
+			t.Logf("partition: %v", err)
+			return false
+		}
+		vals := make([]congest.Val, n)
+		for v := range vals {
+			vals[v] = congest.Val{A: rng.Int63n(1 << 30), B: rng.Int63n(1 << 30)}
+		}
+		res, err := e.SolveLeaderless(in, vals, f)
+		if err != nil {
+			t.Logf("solve: %v", err)
+			return false
+		}
+		want := offlineAggregate(in.Dense, vals, f)
+		for v := 0; v < n; v++ {
+			if res.Values[v] != want[in.Dense[v]] {
+				t.Logf("node %d: got %+v want %+v", v, res.Values[v], want[in.Dense[v]])
+				return false
+			}
+		}
+		return true
+	}
+	cfg := &quick.Config{MaxCount: 12}
+	if err := quick.Check(prop, cfg); err != nil {
+		t.Error(err)
+	}
+}

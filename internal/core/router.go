@@ -1,0 +1,443 @@
+package core
+
+import (
+	"sort"
+
+	"shortcutpa/internal/congest"
+	"shortcutpa/internal/part"
+	"shortcutpa/internal/shortcut"
+	"shortcutpa/internal/subpart"
+)
+
+// router.go is the event-driven realization of Algorithm 1 (PA given a
+// sub-part division and a T-restricted shortcut) and Algorithm 2
+// (verification). The paper presents Algorithm 1 as b lock-step iterations
+// of (BlockRoute between representatives; broadcast inside sub-parts;
+// one-hop crossing of sub-part exits; routing to representatives) followed
+// by a symmetric convergecast and a symmetric result broadcast. Here the
+// same flows run event-driven: every information-carrying transmission is a
+// TOKEN that the receiver either adopts (first receipt — the edge joins the
+// part's broadcast tree) or declines, and the convergecast runs back up the
+// recorded broadcast tree. Lock-step iterations are a worst-case analysis
+// device; the event-driven execution performs a subset of the same sends,
+// so its round count is bounded by the paper's O(bD+c) / O(b(D+c)) budgets,
+// which the budget-doubling driver (construct.go) verifies explicitly.
+//
+// Block traversal follows Observation 4.3's message accounting: only
+// representatives inject; every representative on a block lays a BEACON
+// path rootward along its block, and tokens descend only along recorded
+// beacon paths, so block messages total O(#reps · D) rather than Ω(Σ|H_i|).
+//
+// Lemma 4.2's scheduling discipline is realized by per-port queues: the
+// deterministic variant forwards the packet whose block root is shallowest
+// (ties by part ID, then arrival order); the randomized variant uses FIFO
+// queues with the whole part delayed by a pseudo-random offset in [0, c)
+// derived from the part ID (Algorithm 1's "delay ~ U(c)").
+
+// Router message kinds.
+const (
+	kToken int32 = iota + 80
+	kBeacon
+	kAckAdopt
+	kAckDecline
+	kAgg
+	kAggEmpty
+	kResult
+	kComplain
+)
+
+// routerMode selects between solving PA and verifying coverage (Alg 2).
+type routerMode int
+
+const (
+	modeSolve routerMode = iota + 1
+	modeVerify
+)
+
+// routerConfig is shared read-only state for one router run.
+type routerConfig struct {
+	eng        *Engine
+	in         *part.Info
+	div        *subpart.Division
+	sc         *shortcut.Shortcut
+	mode       routerMode
+	vals       []congest.Val
+	f          congest.Combine
+	det        bool
+	delayRange int64 // randomized: parts delayed by hash(part) mod delayRange
+	verifyAt   int64 // verify mode: round at which uncovered nodes complain
+	castSeed   int64
+}
+
+// partDelay derives the part's start delay from its ID (all members compute
+// it identically with no communication).
+func (cfg *routerConfig) partDelay(partID int64) int64 {
+	if cfg.delayRange <= 1 {
+		return 0
+	}
+	x := uint64(partID) ^ uint64(cfg.castSeed)*0x9E3779B97F4A7C15
+	x ^= x >> 30
+	x *= 0xBF58476D1CE4E5B9
+	x ^= x >> 27
+	return int64(x % uint64(cfg.delayRange))
+}
+
+// portPart keys per-(port, part) dedup sets.
+type portPart struct {
+	port int
+	part int64
+}
+
+// queued is one message waiting on a port, with its scheduling priority.
+type queued struct {
+	pri1, pri2 int64 // (block-root depth, part ID) for the deterministic rule
+	seq        int64
+	msg        congest.Message
+}
+
+// routerProc is one node's router state.
+type routerProc struct {
+	cfg    *routerConfig
+	v      int
+	myPart int64
+
+	treePorts []int // sub-part tree ports (parent + children)
+	exitPorts []int // same-part ports leaving my sub-part
+
+	queues  map[int][]queued
+	seq     int64
+	started bool
+	delay   int64
+
+	informedVia map[int64]int // part -> first-receipt port; -1 at the origin
+	tokenSent   map[portPart]bool
+	beaconFwd   map[int64]bool
+	beaconPorts map[int64][]int
+	pendingAcks map[int64]int
+	children    map[int64][]int
+	aggWait     map[int64]int
+	agg         map[int64]congest.Val
+	aggHas      map[int64]bool
+	aggSent     map[int64]bool
+
+	ownVal     congest.Val
+	complained bool
+
+	gotResult bool
+	result    congest.Val
+}
+
+func newRouterProc(cfg *routerConfig, v int) *routerProc {
+	p := &routerProc{
+		cfg:         cfg,
+		v:           v,
+		myPart:      cfg.in.LeaderID[v],
+		queues:      make(map[int][]queued),
+		informedVia: make(map[int64]int),
+		tokenSent:   make(map[portPart]bool),
+		beaconFwd:   make(map[int64]bool),
+		beaconPorts: make(map[int64][]int),
+		pendingAcks: make(map[int64]int),
+		children:    make(map[int64][]int),
+		aggWait:     make(map[int64]int),
+		agg:         make(map[int64]congest.Val),
+		aggHas:      make(map[int64]bool),
+		aggSent:     make(map[int64]bool),
+	}
+	if cfg.mode == modeSolve {
+		p.ownVal = cfg.vals[v]
+	}
+	div := cfg.div
+	if pp := div.ParentPort[v]; pp >= 0 {
+		p.treePorts = append(p.treePorts, pp)
+	}
+	p.treePorts = append(p.treePorts, div.ChildPorts[v]...)
+	g := cfg.eng.Net.Graph()
+	for q := 0; q < g.Degree(v); q++ {
+		if cfg.in.SamePart[v][q] && !div.SameSub[v][q] {
+			p.exitPorts = append(p.exitPorts, q)
+		}
+	}
+	p.delay = cfg.partDelay(p.myPart)
+	return p
+}
+
+// enqueue schedules a message on a port with the discipline key for its part.
+func (p *routerProc) enqueue(port int, m congest.Message) {
+	pri1 := int64(0)
+	if meta, ok := p.cfg.sc.Meta[p.v][m.A]; ok {
+		pri1 = meta.RootDepth
+	}
+	p.queues[port] = append(p.queues[port], queued{pri1: pri1, pri2: m.A, seq: p.seq, msg: m})
+	p.seq++
+}
+
+// flush sends at most one queued message per port, picking by discipline,
+// and reports whether any queue still has work.
+func (p *routerProc) flush(ctx *congest.Ctx) bool {
+	pending := false
+	ports := make([]int, 0, len(p.queues))
+	for port := range p.queues {
+		ports = append(ports, port)
+	}
+	sort.Ints(ports) // deterministic iteration
+	for _, port := range ports {
+		q := p.queues[port]
+		if len(q) == 0 {
+			continue
+		}
+		if ctx.CanSend(port) {
+			best := 0
+			if p.cfg.det {
+				for i := 1; i < len(q); i++ {
+					if lessKey(q[i], q[best]) {
+						best = i
+					}
+				}
+			}
+			ctx.Send(port, q[best].msg)
+			p.queues[port] = append(q[:best], q[best+1:]...)
+		}
+		if len(p.queues[port]) > 0 {
+			pending = true
+		}
+	}
+	return pending
+}
+
+func lessKey(a, b queued) bool {
+	if a.pri1 != b.pri1 {
+		return a.pri1 < b.pri1
+	}
+	if a.pri2 != b.pri2 {
+		return a.pri2 < b.pri2
+	}
+	return a.seq < b.seq
+}
+
+// sendToken offers part i's token on port q at most once.
+func (p *routerProc) sendToken(i int64, q int) {
+	key := portPart{port: q, part: i}
+	if p.tokenSent[key] {
+		return
+	}
+	p.tokenSent[key] = true
+	p.pendingAcks[i]++
+	p.enqueue(q, congest.Message{Kind: kToken, A: i})
+}
+
+// spread performs the forwarding a node owes after adopting part i's token:
+// members flood their sub-part tree and exit edges (Algorithm 1 lines
+// 13-18); nodes on part i's block relay rootward and serve beacon paths.
+func (p *routerProc) spread(i int64, via int) {
+	cfg := p.cfg
+	if i == p.myPart {
+		for _, q := range p.treePorts {
+			if q != via {
+				p.sendToken(i, q)
+			}
+		}
+		for _, q := range p.exitPorts {
+			if q != via {
+				p.sendToken(i, q)
+			}
+		}
+	}
+	if cfg.sc.OnBlock(p.v, i) {
+		if cfg.sc.HasUp(p.v, i) {
+			if pp := cfg.eng.Tree.ParentPort[p.v]; pp >= 0 && pp != via {
+				p.sendToken(i, pp)
+			}
+		}
+		for _, q := range p.beaconPorts[i] {
+			if q != via {
+				p.sendToken(i, q)
+			}
+		}
+	}
+}
+
+// startActions fires once the part's delay expires: the leader originates
+// its token; representatives of shortcut-using sub-parts lay beacons.
+func (p *routerProc) startActions() {
+	cfg := p.cfg
+	if cfg.in.IsLeader[p.v] {
+		p.informedVia[p.myPart] = -1
+		p.spread(p.myPart, -1)
+	}
+	if cfg.div.IsRep[p.v] && !cfg.div.WholePart[p.v] &&
+		cfg.sc.HasUp(p.v, p.myPart) && !p.beaconFwd[p.myPart] {
+		if pp := cfg.eng.Tree.ParentPort[p.v]; pp >= 0 {
+			p.beaconFwd[p.myPart] = true
+			p.enqueue(pp, congest.Message{Kind: kBeacon, A: p.myPart})
+		}
+	}
+}
+
+func (p *routerProc) handle(in congest.Incoming) {
+	cfg := p.cfg
+	i := in.Msg.A
+	switch in.Msg.Kind {
+	case kToken:
+		if _, ok := p.informedVia[i]; ok {
+			p.enqueue(in.Port, congest.Message{Kind: kAckDecline, A: i})
+			return
+		}
+		p.informedVia[i] = in.Port
+		p.enqueue(in.Port, congest.Message{Kind: kAckAdopt, A: i})
+		p.spread(i, in.Port)
+	case kBeacon:
+		known := false
+		for _, q := range p.beaconPorts[i] {
+			if q == in.Port {
+				known = true
+			}
+		}
+		if !known {
+			p.beaconPorts[i] = append(p.beaconPorts[i], in.Port)
+		}
+		// Serve the beacon now if the token already passed through and the
+		// aggregate has not been sealed (a post-seal adoption would orphan
+		// the new child's aggregate; such terminals are reached by the
+		// intra-part flood instead).
+		if _, ok := p.informedVia[i]; ok && !p.aggSent[i] {
+			p.sendToken(i, in.Port)
+		}
+		if cfg.sc.HasUp(p.v, i) && !p.beaconFwd[i] {
+			if pp := cfg.eng.Tree.ParentPort[p.v]; pp >= 0 {
+				p.beaconFwd[i] = true
+				p.enqueue(pp, congest.Message{Kind: kBeacon, A: i})
+			}
+		}
+	case kAckAdopt:
+		p.pendingAcks[i]--
+		p.children[i] = append(p.children[i], in.Port)
+		p.aggWait[i]++
+	case kAckDecline:
+		p.pendingAcks[i]--
+	case kAgg:
+		val := congest.Val{A: in.Msg.B, B: in.Msg.C}
+		if p.aggHas[i] {
+			p.agg[i] = cfg.f(p.agg[i], val)
+		} else {
+			p.agg[i] = val
+			p.aggHas[i] = true
+		}
+		p.aggWait[i]--
+	case kAggEmpty:
+		p.aggWait[i]--
+	case kResult:
+		if p.forwardResult(i, congest.Val{A: in.Msg.B, B: in.Msg.C}) && i == p.myPart {
+			p.gotResult = true
+			p.result = congest.Val{A: in.Msg.B, B: in.Msg.C}
+		}
+	case kComplain:
+		// A same-part neighbor did not receive the token (verify mode):
+		// record the complaint in this node's contributed bit.
+		p.ownVal = congest.OrPair(p.ownVal, congest.Val{A: 1})
+	}
+}
+
+// forwardResult pushes a result down the adopted subtree once; reports
+// whether this was the first receipt.
+func (p *routerProc) forwardResult(i int64, val congest.Val) bool {
+	key := portPart{port: -1, part: -i - 1} // sentinel: result-seen marker
+	if p.tokenSent[key] {
+		return false
+	}
+	p.tokenSent[key] = true
+	for _, q := range p.children[i] {
+		p.enqueue(q, congest.Message{Kind: kResult, A: i, B: val.A, C: val.B})
+	}
+	return true
+}
+
+// tryComplete seals aggregates whose subtrees have fully reported: interior
+// nodes send AGG up their adoption port; the origin (leader) computes the
+// final value and starts the RESULT broadcast.
+func (p *routerProc) tryComplete(round int64) {
+	cfg := p.cfg
+	parts := make([]int64, 0, len(p.informedVia))
+	for i := range p.informedVia {
+		parts = append(parts, i)
+	}
+	sort.Slice(parts, func(a, b int) bool { return parts[a] < parts[b] })
+	for _, i := range parts {
+		via := p.informedVia[i]
+		if p.aggSent[i] || p.pendingAcks[i] != 0 || p.aggWait[i] != 0 {
+			continue
+		}
+		if i == p.myPart && cfg.mode == modeVerify && round < cfg.verifyAt+2 {
+			continue // complaints may still be en route
+		}
+		total := p.agg[i]
+		has := p.aggHas[i]
+		if i == p.myPart {
+			if has {
+				total = cfg.f(total, p.ownVal)
+			} else {
+				total = p.ownVal
+				has = true
+			}
+		}
+		p.aggSent[i] = true
+		if via >= 0 {
+			if has {
+				p.enqueue(via, congest.Message{Kind: kAgg, A: i, B: total.A, C: total.B})
+			} else {
+				p.enqueue(via, congest.Message{Kind: kAggEmpty, A: i})
+			}
+		} else {
+			// Origin: total = f(P_i); distribute it.
+			p.gotResult = true
+			p.result = total
+			p.forwardResult(i, total)
+		}
+	}
+}
+
+// Step implements congest.Proc.
+func (p *routerProc) Step(ctx *congest.Ctx) bool {
+	cfg := p.cfg
+	round := ctx.Round()
+	if !p.started && round >= p.delay {
+		p.started = true
+		p.startActions()
+	}
+	for _, in := range ctx.Recv() {
+		p.handle(in)
+	}
+	if cfg.mode == modeVerify && round == cfg.verifyAt && !p.complained {
+		p.complained = true
+		if _, informed := p.informedVia[p.myPart]; !informed {
+			for q := 0; q < ctx.Degree(); q++ {
+				if cfg.in.SamePart[p.v][q] {
+					p.enqueue(q, congest.Message{Kind: kComplain, A: p.myPart})
+				}
+			}
+		}
+	}
+	p.tryComplete(round)
+	pending := p.flush(ctx)
+	if !p.started {
+		return true
+	}
+	if cfg.mode == modeVerify && round < cfg.verifyAt+2 {
+		return true
+	}
+	return pending
+}
+
+// runRouter executes one router phase over the whole network and returns
+// the per-node procs for result extraction.
+func runRouter(cfg *routerConfig, name string, budget int64) ([]*routerProc, error) {
+	n := cfg.eng.N
+	procs := make([]congest.Proc, n)
+	impls := make([]*routerProc, n)
+	for v := 0; v < n; v++ {
+		impls[v] = newRouterProc(cfg, v)
+		procs[v] = impls[v]
+	}
+	_, err := cfg.eng.Net.Run(name, procs, budget)
+	return impls, err
+}

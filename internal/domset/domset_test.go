@@ -1,0 +1,133 @@
+package domset
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"shortcutpa/internal/congest"
+	"shortcutpa/internal/core"
+	"shortcutpa/internal/graph"
+)
+
+func newEngine(t *testing.T, g *graph.Graph, seed int64) *core.Engine {
+	t.Helper()
+	net := congest.NewNetwork(g, seed)
+	e, err := core.NewEngine(net, core.Randomized)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e
+}
+
+// checkDomination verifies every node is within k hops of a center.
+func checkDomination(t *testing.T, g *graph.Graph, res *Result, k int64) {
+	t.Helper()
+	// Multi-source BFS from all centers.
+	dist := make([]int, g.N())
+	for v := range dist {
+		dist[v] = -1
+	}
+	var queue []int
+	for v := 0; v < g.N(); v++ {
+		if res.IsCenter[v] {
+			dist[v] = 0
+			queue = append(queue, v)
+		}
+	}
+	for len(queue) > 0 {
+		v := queue[0]
+		queue = queue[1:]
+		for _, u := range g.SortedNeighbors(v) {
+			if dist[u] < 0 {
+				dist[u] = dist[v] + 1
+				queue = append(queue, u)
+			}
+		}
+	}
+	for v := 0; v < g.N(); v++ {
+		if dist[v] < 0 || int64(dist[v]) > k {
+			t.Fatalf("node %d at distance %d from nearest center, want <= %d", v, dist[v], k)
+		}
+	}
+}
+
+func TestKDominatingSetCoversWithinK(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 5; trial++ {
+		g := graph.RandomConnected(100, 0.04, rng)
+		e := newEngine(t, g, int64(trial+3))
+		k := int64(2 + trial)
+		res, err := KDominatingSet(e, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		checkDomination(t, g, res, k)
+	}
+}
+
+func TestKDominatingSetSizeNearLinearOverK(t *testing.T) {
+	const n, k = 600, 24
+	g := graph.Path(n)
+	e := newEngine(t, g, 7)
+	res, err := KDominatingSet(e, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkDomination(t, g, res, k)
+	bound := int(8*float64(n)*math.Log(float64(n))/float64(k)) + 4
+	if res.Size > bound {
+		t.Fatalf("size %d exceeds Õ(n/k) envelope %d", res.Size, bound)
+	}
+	if res.Size < n/(3*k) {
+		t.Fatalf("size %d suspiciously small for a path (min possible ~ n/(2k+1))", res.Size)
+	}
+}
+
+func TestKDominatingSetRejectsBadK(t *testing.T) {
+	g := graph.Cycle(5)
+	e := newEngine(t, g, 9)
+	if _, err := KDominatingSet(e, 0); err == nil {
+		t.Fatal("k=0 accepted")
+	}
+}
+
+func TestConnectedDominatingSet(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 5; trial++ {
+		g := graph.RandomConnected(60, 0.06, rng)
+		e := newEngine(t, g, int64(trial+20))
+		res := ConnectedDominatingSet(e)
+		// Valid 1-domination.
+		checkDomination(t, g, res, 1)
+		// Connected: the centers induce a connected subgraph.
+		var first = -1
+		centers := make(map[int]bool)
+		for v := 0; v < g.N(); v++ {
+			if res.IsCenter[v] {
+				centers[v] = true
+				if first < 0 {
+					first = v
+				}
+			}
+		}
+		if first < 0 {
+			t.Fatal("empty CDS")
+		}
+		seen := map[int]bool{first: true}
+		queue := []int{first}
+		for len(queue) > 0 {
+			v := queue[0]
+			queue = queue[1:]
+			for _, u := range g.SortedNeighbors(v) {
+				if centers[u] && !seen[u] {
+					seen[u] = true
+					queue = append(queue, u)
+				}
+			}
+		}
+		if len(seen) != len(centers) {
+			t.Fatalf("CDS not connected: reached %d of %d", len(seen), len(centers))
+		}
+	}
+}

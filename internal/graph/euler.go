@@ -1,0 +1,56 @@
+package graph
+
+// DeepPartition partitions a connected graph into connected parts of at
+// least segLen nodes (except possibly the root's remainder) by bottom-up
+// clustering of a DFS spanning tree: every node accumulates its children's
+// unsealed clusters and seals a part once the accumulation reaches segLen.
+// Sealed clusters are connected through their sealing node. On path-like
+// graphs the parts are tour segments of diameter ~segLen regardless of the
+// graph diameter — the "deep parts" regime the shortcut machinery is built
+// for (engine-side instance construction for tests and benchmarks).
+func DeepPartition(g *Graph, segLen int) []int {
+	n := g.N()
+	if segLen < 1 {
+		segLen = 1
+	}
+	children := make([][]int, n)
+	order := make([]int, 0, n) // DFS preorder; reversed it is a valid post-order
+	visited := make([]bool, n)
+	visited[0] = true
+	stack := []int{0}
+	for len(stack) > 0 {
+		v := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		order = append(order, v)
+		for _, u := range g.SortedNeighbors(v) {
+			if !visited[u] {
+				visited[u] = true
+				children[v] = append(children[v], u)
+				stack = append(stack, u)
+			}
+		}
+	}
+	parts := make([]int, n)
+	for i := range parts {
+		parts[i] = -1
+	}
+	pending := make([][]int, n) // unsealed cluster rooted at v (post-order)
+	next := 0
+	for i := n - 1; i >= 0; i-- {
+		v := order[i]
+		cluster := []int{v}
+		for _, c := range children[v] {
+			cluster = append(cluster, pending[c]...)
+			pending[c] = nil
+		}
+		if len(cluster) >= segLen || v == order[0] {
+			for _, u := range cluster {
+				parts[u] = next
+			}
+			next++
+			continue
+		}
+		pending[v] = cluster
+	}
+	return parts
+}

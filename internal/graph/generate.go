@@ -1,0 +1,250 @@
+package graph
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// Defaults for generated edge weights. Generators produce unit weights;
+// RandomizeWeights assigns weights uniform in [1, maxW].
+const defaultWeight Weight = 1
+
+// Path returns the path graph on n nodes: 0-1-2-...-(n-1). Pathwidth 1.
+func Path(n int) *Graph {
+	edges := make([]Edge, 0, n-1)
+	for i := 0; i+1 < n; i++ {
+		edges = append(edges, Edge{U: i, V: i + 1, W: defaultWeight})
+	}
+	return MustNew(n, edges)
+}
+
+// Cycle returns the cycle graph on n >= 3 nodes.
+func Cycle(n int) *Graph {
+	if n < 3 {
+		panic(fmt.Sprintf("graph: Cycle needs n >= 3, got %d", n))
+	}
+	edges := make([]Edge, 0, n)
+	for i := 0; i < n; i++ {
+		edges = append(edges, Edge{U: i, V: (i + 1) % n, W: defaultWeight})
+	}
+	return MustNew(n, edges)
+}
+
+// Star returns the star graph: node 0 is the hub, nodes 1..n-1 are leaves.
+func Star(n int) *Graph {
+	edges := make([]Edge, 0, n-1)
+	for i := 1; i < n; i++ {
+		edges = append(edges, Edge{U: 0, V: i, W: defaultWeight})
+	}
+	return MustNew(n, edges)
+}
+
+// Grid returns the rows x cols grid graph (planar, diameter rows+cols-2).
+// Node (r,c) has index r*cols+c.
+func Grid(rows, cols int) *Graph {
+	n := rows * cols
+	edges := make([]Edge, 0, 2*n)
+	for r := 0; r < rows; r++ {
+		for c := 0; c < cols; c++ {
+			v := r*cols + c
+			if c+1 < cols {
+				edges = append(edges, Edge{U: v, V: v + 1, W: defaultWeight})
+			}
+			if r+1 < rows {
+				edges = append(edges, Edge{U: v, V: v + cols, W: defaultWeight})
+			}
+		}
+	}
+	return MustNew(n, edges)
+}
+
+// Torus returns the rows x cols torus (grid with wraparound): genus 1.
+// Requires rows, cols >= 3 so no duplicate edges arise.
+func Torus(rows, cols int) *Graph {
+	if rows < 3 || cols < 3 {
+		panic(fmt.Sprintf("graph: Torus needs rows,cols >= 3, got %dx%d", rows, cols))
+	}
+	n := rows * cols
+	edges := make([]Edge, 0, 2*n)
+	for r := 0; r < rows; r++ {
+		for c := 0; c < cols; c++ {
+			v := r*cols + c
+			right := r*cols + (c+1)%cols
+			down := ((r+1)%rows)*cols + c
+			edges = append(edges, Edge{U: v, V: right, W: defaultWeight})
+			edges = append(edges, Edge{U: v, V: down, W: defaultWeight})
+		}
+	}
+	return MustNew(n, edges)
+}
+
+// Ladder returns the 2 x n ladder graph (pathwidth 2).
+func Ladder(n int) *Graph { return Grid(2, n) }
+
+// CompleteBinaryTree returns a complete binary tree with the given number of
+// levels (level 1 = a single root). Treewidth 1.
+func CompleteBinaryTree(levels int) *Graph {
+	if levels < 1 {
+		panic("graph: CompleteBinaryTree needs levels >= 1")
+	}
+	n := (1 << levels) - 1
+	edges := make([]Edge, 0, n-1)
+	for v := 1; v < n; v++ {
+		edges = append(edges, Edge{U: (v - 1) / 2, V: v, W: defaultWeight})
+	}
+	return MustNew(n, edges)
+}
+
+// RandomTree returns a uniformly random labeled tree on n nodes built from a
+// random Prüfer-like attachment: node i attaches to a uniform node in [0, i).
+func RandomTree(n int, rng *rand.Rand) *Graph {
+	edges := make([]Edge, 0, n-1)
+	for i := 1; i < n; i++ {
+		edges = append(edges, Edge{U: rng.Intn(i), V: i, W: defaultWeight})
+	}
+	return MustNew(n, edges)
+}
+
+// KTree returns a k-tree on n >= k+1 nodes (treewidth exactly k for n > k):
+// start from a (k+1)-clique; each new node attaches to a random k-clique.
+func KTree(n, k int, rng *rand.Rand) *Graph {
+	if n < k+1 {
+		panic(fmt.Sprintf("graph: KTree needs n >= k+1, got n=%d k=%d", n, k))
+	}
+	var edges []Edge
+	// cliques holds k-subsets that new nodes may attach to.
+	var cliques [][]int
+	base := make([]int, k+1)
+	for i := 0; i <= k; i++ {
+		base[i] = i
+		for j := 0; j < i; j++ {
+			edges = append(edges, Edge{U: j, V: i, W: defaultWeight})
+		}
+	}
+	// All k-subsets of the base clique.
+	for drop := 0; drop <= k; drop++ {
+		sub := make([]int, 0, k)
+		for _, v := range base {
+			if v != base[drop] {
+				sub = append(sub, v)
+			}
+		}
+		cliques = append(cliques, sub)
+	}
+	for v := k + 1; v < n; v++ {
+		c := cliques[rng.Intn(len(cliques))]
+		for _, u := range c {
+			edges = append(edges, Edge{U: u, V: v, W: defaultWeight})
+		}
+		// New k-subsets: v plus each (k-1)-subset of c.
+		for drop := 0; drop < k; drop++ {
+			sub := make([]int, 0, k)
+			sub = append(sub, v)
+			for j, u := range c {
+				if j != drop {
+					sub = append(sub, u)
+				}
+			}
+			cliques = append(cliques, sub)
+		}
+	}
+	return MustNew(n, edges)
+}
+
+// ErdosRenyi returns G(n, p). The result may be disconnected; see
+// RandomConnected for a connected variant.
+func ErdosRenyi(n int, p float64, rng *rand.Rand) *Graph {
+	var edges []Edge
+	for u := 0; u < n; u++ {
+		for v := u + 1; v < n; v++ {
+			if rng.Float64() < p {
+				edges = append(edges, Edge{U: u, V: v, W: defaultWeight})
+			}
+		}
+	}
+	return MustNew(n, edges)
+}
+
+// RandomConnected returns a connected G(n, p)-like graph: a random spanning
+// tree unioned with G(n, p) edges.
+func RandomConnected(n int, p float64, rng *rand.Rand) *Graph {
+	seen := make(map[[2]int]struct{}, n)
+	var edges []Edge
+	add := func(u, v int) {
+		key := [2]int{min(u, v), max(u, v)}
+		if _, dup := seen[key]; dup {
+			return
+		}
+		seen[key] = struct{}{}
+		edges = append(edges, Edge{U: u, V: v, W: defaultWeight})
+	}
+	for i := 1; i < n; i++ {
+		add(rng.Intn(i), i)
+	}
+	for u := 0; u < n; u++ {
+		for v := u + 1; v < n; v++ {
+			if rng.Float64() < p {
+				add(u, v)
+			}
+		}
+	}
+	return MustNew(n, edges)
+}
+
+// Lollipop returns a clique on k nodes attached to a path of n-k nodes.
+// A classic high-diameter, locally-dense stress test.
+func Lollipop(n, k int) *Graph {
+	if k < 1 || k > n {
+		panic(fmt.Sprintf("graph: Lollipop needs 1 <= k <= n, got n=%d k=%d", n, k))
+	}
+	var edges []Edge
+	for u := 0; u < k; u++ {
+		for v := u + 1; v < k; v++ {
+			edges = append(edges, Edge{U: u, V: v, W: defaultWeight})
+		}
+	}
+	for v := k; v < n; v++ {
+		edges = append(edges, Edge{U: v - 1, V: v, W: defaultWeight})
+	}
+	return MustNew(n, edges)
+}
+
+// GridStar is the paper's Figure 2 lower-bound instance: a rows x cols grid
+// plus an apex node r adjacent to every node of the top row. The apex has
+// index rows*cols. With rows = D/2 and cols = (n-1)/rows this realizes the
+// D x (n-1)/D construction of Section 3.1.
+func GridStar(rows, cols int) *Graph {
+	n := rows * cols
+	g := Grid(rows, cols)
+	edges := g.Edges()
+	for c := 0; c < cols; c++ {
+		edges = append(edges, Edge{U: n, V: c, W: defaultWeight})
+	}
+	return MustNew(n+1, edges)
+}
+
+// GridStarRowParts returns the Figure 2a partition of GridStar(rows, cols):
+// each grid row is a part, and the apex is its own part. parts[v] gives the
+// part index of node v.
+func GridStarRowParts(rows, cols int) []int {
+	parts := make([]int, rows*cols+1)
+	for r := 0; r < rows; r++ {
+		for c := 0; c < cols; c++ {
+			parts[r*cols+c] = r
+		}
+	}
+	parts[rows*cols] = rows
+	return parts
+}
+
+// RandomizeWeights returns a copy of g with i.i.d. uniform weights in
+// [1, maxW].
+func RandomizeWeights(g *Graph, maxW Weight, rng *rand.Rand) *Graph {
+	out, err := g.Reweight(func(int, Edge) Weight {
+		return 1 + Weight(rng.Int63n(int64(maxW)))
+	})
+	if err != nil {
+		panic(err) // weights are positive by construction
+	}
+	return out
+}

@@ -1,0 +1,168 @@
+// Package graph provides the static undirected graphs on which the CONGEST
+// simulator runs, generators for every graph family the paper's results are
+// parameterized by, and sequential reference algorithms used as test oracles.
+//
+// Nodes are indexed 0..N-1. Each node's incident edges are numbered by local
+// "ports" 0..deg-1, matching the KT0 CONGEST model in which a node initially
+// knows only its own ID and its ports. Edge weights are positive integers in
+// [1, poly(n)], as in the paper.
+package graph
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+)
+
+// Weight is an integer edge weight in [1, poly(n)].
+type Weight int64
+
+// Edge is an undirected edge between nodes U and V with weight W.
+type Edge struct {
+	U, V int
+	W    Weight
+}
+
+// halfEdge is one directed side of an undirected edge as seen from a node.
+type halfEdge struct {
+	to   int // neighbor node index
+	edge int // index into Graph.edges
+}
+
+// Graph is an undirected multigraph-free graph with ported adjacency lists.
+// The zero value is an empty graph; use New or a generator.
+type Graph struct {
+	n     int
+	edges []Edge
+	adj   [][]halfEdge
+}
+
+// New returns a graph with n nodes and the given undirected edges.
+// Self-loops and duplicate edges are rejected.
+func New(n int, edges []Edge) (*Graph, error) {
+	if n < 0 {
+		return nil, errors.New("graph: negative node count")
+	}
+	g := &Graph{n: n, adj: make([][]halfEdge, n)}
+	seen := make(map[[2]int]struct{}, len(edges))
+	for _, e := range edges {
+		if err := g.addEdge(e, seen); err != nil {
+			return nil, err
+		}
+	}
+	return g, nil
+}
+
+// MustNew is New but panics on error. Intended for generators and tests whose
+// inputs are correct by construction.
+func MustNew(n int, edges []Edge) *Graph {
+	g, err := New(n, edges)
+	if err != nil {
+		panic(err)
+	}
+	return g
+}
+
+func (g *Graph) addEdge(e Edge, seen map[[2]int]struct{}) error {
+	if e.U < 0 || e.U >= g.n || e.V < 0 || e.V >= g.n {
+		return fmt.Errorf("graph: edge (%d,%d) out of range [0,%d)", e.U, e.V, g.n)
+	}
+	if e.U == e.V {
+		return fmt.Errorf("graph: self-loop at %d", e.U)
+	}
+	if e.W <= 0 {
+		return fmt.Errorf("graph: edge (%d,%d) has non-positive weight %d", e.U, e.V, e.W)
+	}
+	key := [2]int{min(e.U, e.V), max(e.U, e.V)}
+	if _, dup := seen[key]; dup {
+		return fmt.Errorf("graph: duplicate edge (%d,%d)", e.U, e.V)
+	}
+	seen[key] = struct{}{}
+	idx := len(g.edges)
+	g.edges = append(g.edges, e)
+	g.adj[e.U] = append(g.adj[e.U], halfEdge{to: e.V, edge: idx})
+	g.adj[e.V] = append(g.adj[e.V], halfEdge{to: e.U, edge: idx})
+	return nil
+}
+
+// N returns the number of nodes.
+func (g *Graph) N() int { return g.n }
+
+// M returns the number of edges.
+func (g *Graph) M() int { return len(g.edges) }
+
+// Degree returns the degree of node v.
+func (g *Graph) Degree(v int) int { return len(g.adj[v]) }
+
+// Neighbor returns the node at the far end of port p of node v.
+func (g *Graph) Neighbor(v, p int) int { return g.adj[v][p].to }
+
+// EdgeIndex returns the global edge index behind port p of node v.
+func (g *Graph) EdgeIndex(v, p int) int { return g.adj[v][p].edge }
+
+// EdgeWeight returns the weight of the edge behind port p of node v.
+func (g *Graph) EdgeWeight(v, p int) Weight { return g.edges[g.adj[v][p].edge].W }
+
+// Edge returns the i-th edge.
+func (g *Graph) Edge(i int) Edge { return g.edges[i] }
+
+// Edges returns a copy of the edge list.
+func (g *Graph) Edges() []Edge {
+	out := make([]Edge, len(g.edges))
+	copy(out, g.edges)
+	return out
+}
+
+// PortTo returns the port of v that leads to u, or -1 if u is not adjacent.
+func (g *Graph) PortTo(v, u int) int {
+	for p, h := range g.adj[v] {
+		if h.to == u {
+			return p
+		}
+	}
+	return -1
+}
+
+// ReversePort returns the port at the far end of port p of node v, i.e. the
+// port q of u := Neighbor(v,p) with Neighbor(u,q) == v.
+func (g *Graph) ReversePort(v, p int) int {
+	u := g.adj[v][p].to
+	e := g.adj[v][p].edge
+	for q, h := range g.adj[u] {
+		if h.edge == e {
+			return q
+		}
+	}
+	return -1 // unreachable on a well-formed graph
+}
+
+// TotalWeight returns the sum of all edge weights.
+func (g *Graph) TotalWeight() Weight {
+	var s Weight
+	for _, e := range g.edges {
+		s += e.W
+	}
+	return s
+}
+
+// Reweight returns a copy of g with edge i's weight given by w(i). Weights
+// must remain positive.
+func (g *Graph) Reweight(w func(i int, e Edge) Weight) (*Graph, error) {
+	edges := make([]Edge, len(g.edges))
+	for i, e := range g.edges {
+		e.W = w(i, e)
+		edges[i] = e
+	}
+	return New(g.n, edges)
+}
+
+// SortedNeighbors returns the neighbor node indices of v in ascending order.
+// Intended for tests and offline oracles; protocols must use ports.
+func (g *Graph) SortedNeighbors(v int) []int {
+	out := make([]int, 0, len(g.adj[v]))
+	for _, h := range g.adj[v] {
+		out = append(out, h.to)
+	}
+	sort.Ints(out)
+	return out
+}

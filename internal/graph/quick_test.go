@@ -1,0 +1,112 @@
+package graph
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// Property-based tests on the graph substrate's invariants.
+
+func TestQuickDSUPartitionsAreEquivalenceClasses(t *testing.T) {
+	prop := func(pairs []uint16, size uint8) bool {
+		n := 2 + int(size)%60
+		dsu := NewDSU(n)
+		for _, p := range pairs {
+			a, b := int(p>>8)%n, int(p&0xff)%n
+			dsu.Union(a, b)
+		}
+		labels, k := dsu.Labels()
+		if k < 1 || k > n {
+			return false
+		}
+		// Reflexive/symmetric/transitive by construction; check that Find
+		// agrees with labels.
+		for v := 0; v < n; v++ {
+			for u := 0; u < n; u++ {
+				if (dsu.Find(u) == dsu.Find(v)) != (labels[u] == labels[v]) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickDeepPartitionAlwaysValid(t *testing.T) {
+	prop := func(seed int64, size, seg uint8) bool {
+		n := 10 + int(size)%90
+		segLen := 1 + int(seg)%20
+		rng := rand.New(rand.NewSource(seed))
+		g := RandomConnected(n, 2.5/float64(n), rng)
+		parts := DeepPartition(g, segLen)
+		return ValidatePartition(g, parts) == nil
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickRandomConnectedPartitionAlwaysValid(t *testing.T) {
+	prop := func(seed int64, size, kk uint8) bool {
+		n := 10 + int(size)%60
+		k := 1 + int(kk)%10
+		rng := rand.New(rand.NewSource(seed))
+		g := RandomConnected(n, 2.5/float64(n), rng)
+		parts := RandomConnectedPartition(g, k, rng)
+		return ValidatePartition(g, parts) == nil
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickMSTWeightIsMinimalAmongSampledTrees(t *testing.T) {
+	// The Kruskal weight is <= the weight of any random spanning tree
+	// (sampled via randomized union-find passes).
+	prop := func(seed int64, size uint8) bool {
+		n := 5 + int(size)%25
+		rng := rand.New(rand.NewSource(seed))
+		g := RandomizeWeights(RandomConnected(n, 0.3, rng), 50, rng)
+		mstW := g.MSTWeight()
+		for trial := 0; trial < 4; trial++ {
+			dsu := NewDSU(n)
+			var w Weight
+			for _, i := range rng.Perm(g.M()) {
+				e := g.Edge(i)
+				if dsu.Union(e.U, e.V) {
+					w += e.W
+				}
+			}
+			if w < mstW {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickBFSDistancesSatisfyTriangleOnEdges(t *testing.T) {
+	prop := func(seed int64, size uint8) bool {
+		n := 5 + int(size)%60
+		rng := rand.New(rand.NewSource(seed))
+		g := RandomConnected(n, 3.0/float64(n), rng)
+		dist := g.BFSFrom(0)
+		for _, e := range g.Edges() {
+			d := dist[e.U] - dist[e.V]
+			if d > 1 || d < -1 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,162 @@
+package mst
+
+import (
+	"math/rand"
+	"testing"
+
+	"shortcutpa/internal/congest"
+	"shortcutpa/internal/core"
+	"shortcutpa/internal/graph"
+)
+
+func newEngine(t *testing.T, g *graph.Graph, seed int64, mode core.Mode) *core.Engine {
+	t.Helper()
+	net := congest.NewNetwork(g, seed)
+	e, err := core.NewEngine(net, mode)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e
+}
+
+// checkAgainstKruskal verifies the distributed MST equals the unique
+// (weight, edge-id)-lexicographic MST.
+func checkAgainstKruskal(t *testing.T, g *graph.Graph, res *Result) {
+	t.Helper()
+	want := make([]bool, g.M())
+	for _, i := range g.KruskalMST() {
+		want[i] = true
+	}
+	for i := 0; i < g.M(); i++ {
+		if res.InMST[i] != want[i] {
+			t.Fatalf("edge %d (%v): got inMST=%v, want %v", i, g.Edge(i), res.InMST[i], want[i])
+		}
+	}
+	if res.Weight != g.MSTWeight() {
+		t.Fatalf("weight %d, want %d", res.Weight, g.MSTWeight())
+	}
+}
+
+func TestMSTOnSmallKnownGraph(t *testing.T) {
+	// A 4-cycle with a chord: MST is forced by weights.
+	g := graph.MustNew(4, []graph.Edge{
+		{U: 0, V: 1, W: 1}, {U: 1, V: 2, W: 4}, {U: 2, V: 3, W: 2},
+		{U: 3, V: 0, W: 3}, {U: 1, V: 3, W: 5},
+	})
+	e := newEngine(t, g, 1, core.Randomized)
+	res, err := Run(e, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkAgainstKruskal(t, g, res)
+}
+
+func TestMSTRandomWeightedGraphs(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for trial := 0; trial < 6; trial++ {
+		g := graph.RandomizeWeights(graph.RandomConnected(40+rng.Intn(40), 0.08, rng), 50, rng)
+		e := newEngine(t, g, int64(trial+10), core.Randomized)
+		res, err := Run(e, Options{})
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		checkAgainstKruskal(t, g, res)
+	}
+}
+
+func TestMSTUniformWeightsTieBreaking(t *testing.T) {
+	// All weights equal: the unique MST under edge-id tie-breaking must
+	// still come out (exercises the lexicographic rule).
+	g := graph.Grid(5, 6)
+	e := newEngine(t, g, 3, core.Randomized)
+	res, err := Run(e, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkAgainstKruskal(t, g, res)
+}
+
+func TestMSTBaselineMatches(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	g := graph.RandomizeWeights(graph.RandomConnected(50, 0.07, rng), 30, rng)
+	e := newEngine(t, g, 5, core.Randomized)
+	res, err := Run(e, Options{Baseline: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkAgainstKruskal(t, g, res)
+}
+
+func TestMSTOnGridStar(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	g := graph.RandomizeWeights(graph.GridStar(6, 25), 100, rng)
+	e := newEngine(t, g, 7, core.Randomized)
+	res, err := Run(e, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkAgainstKruskal(t, g, res)
+	if res.Phases < 2 {
+		t.Fatalf("suspiciously few phases: %d", res.Phases)
+	}
+}
+
+func TestMSTPhaseCountLogarithmic(t *testing.T) {
+	g := graph.Path(128)
+	e := newEngine(t, g, 8, core.Randomized)
+	res, err := Run(e, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkAgainstKruskal(t, g, res)
+	if res.Phases > 2*8+8 {
+		t.Fatalf("phases %d exceed O(log n) envelope", res.Phases)
+	}
+}
+
+func TestMSTDeterministicMode(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	for trial := 0; trial < 3; trial++ {
+		g := graph.RandomizeWeights(graph.RandomConnected(45, 0.08, rng), 40, rng)
+		e := newEngine(t, g, int64(trial+30), core.Deterministic)
+		res, err := Run(e, Options{})
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		checkAgainstKruskal(t, g, res)
+	}
+}
+
+func TestMSTDeterministicIsReproducible(t *testing.T) {
+	run := func() (graph.Weight, int64) {
+		rng := rand.New(rand.NewSource(10))
+		g := graph.RandomizeWeights(graph.Grid(6, 10), 25, rng)
+		e := newEngine(t, g, 11, core.Deterministic)
+		res, err := Run(e, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Weight, e.Net.Total().Rounds
+	}
+	w1, r1 := run()
+	w2, r2 := run()
+	if w1 != w2 || r1 != r2 {
+		t.Fatalf("deterministic MST not reproducible: (%d,%d) vs (%d,%d)", w1, r1, w2, r2)
+	}
+}
+
+func TestMSTOnTreeGraphSelectsAllEdges(t *testing.T) {
+	// On a tree, the MST is the whole graph.
+	rng := rand.New(rand.NewSource(12))
+	g := graph.RandomizeWeights(graph.RandomTree(40, rng), 9, rng)
+	e := newEngine(t, g, 13, core.Randomized)
+	res, err := Run(e, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, in := range res.InMST {
+		if !in {
+			t.Fatalf("tree edge %d not selected", i)
+		}
+	}
+}

@@ -1,0 +1,327 @@
+// Package part represents Part-Wise Aggregation partitions as CONGEST-local
+// knowledge and provides the intra-part protocols the paper's algorithms
+// build on: restricted flood-min leader election and radius-capped
+// intra-part BFS with coverage detection.
+//
+// Per Definition 1.1, a node knows only which of its ports stay inside its
+// part; per Section 4, the paper additionally assumes every node knows its
+// part leader's ID (an assumption removable via Algorithm 9, implemented in
+// internal/core). Part IDs are leader IDs.
+package part
+
+import (
+	"fmt"
+
+	"shortcutpa/internal/congest"
+	"shortcutpa/internal/graph"
+)
+
+// Message kinds used by this package's protocols.
+const (
+	kindElect int32 = iota + 30
+	kindJoin
+	kindChild
+	kindUncovered
+	kindFlagUp
+	kindVerdictDown
+)
+
+// Info is a PA partition as local knowledge. Entry v of each slice belongs
+// to node v.
+type Info struct {
+	SamePart [][]bool // per port: does the edge stay inside my part
+	LeaderID []int64  // ID of my part's leader; -1 if not (yet) known
+	IsLeader []bool
+
+	// Dense is an engine-side dense relabeling of the partition, used only
+	// by oracles and experiment reporting, never by protocols.
+	Dense []int
+}
+
+// NumParts returns the number of parts (engine-side).
+func (in *Info) NumParts() int {
+	seen := make(map[int]struct{})
+	for _, p := range in.Dense {
+		seen[p] = struct{}{}
+	}
+	return len(seen)
+}
+
+// FromDense builds partition-local knowledge from a dense parts slice
+// (engine-side construction of the PA instance; the resulting SamePart is
+// exactly what Definition 1.1 grants each node). Leaders are unknown.
+func FromDense(net *congest.Network, parts []int) (*Info, error) {
+	g := net.Graph()
+	if err := graph.ValidatePartition(g, parts); err != nil {
+		return nil, err
+	}
+	n := g.N()
+	in := &Info{
+		SamePart: make([][]bool, n),
+		LeaderID: make([]int64, n),
+		IsLeader: make([]bool, n),
+		Dense:    make([]int, n),
+	}
+	dense, _ := graph.NormalizeParts(parts)
+	copy(in.Dense, dense)
+	for v := 0; v < n; v++ {
+		in.LeaderID[v] = -1
+		deg := g.Degree(v)
+		in.SamePart[v] = make([]bool, deg)
+		for p := 0; p < deg; p++ {
+			in.SamePart[v][p] = dense[g.Neighbor(v, p)] == dense[v]
+		}
+	}
+	return in, nil
+}
+
+// SetLeaders installs known leaders (used by applications such as Borůvka
+// that maintain fragment leaders as they merge).
+func (in *Info) SetLeaders(leaderID []int64, isLeader []bool) {
+	copy(in.LeaderID, leaderID)
+	copy(in.IsLeader, isLeader)
+}
+
+// ElectLeaders floods the minimum ID within each part and installs the
+// winners as part leaders. Rounds are O(max part diameter) — fine for tests
+// and for applications whose parts are known to be shallow; the general
+// leaderless case is handled round-optimally by Algorithm 9 (internal/core).
+func ElectLeaders(net *congest.Network, in *Info, maxRounds int64) error {
+	n := net.N()
+	minID := make([]int64, n)
+	procs := make([]congest.Proc, n)
+	for v := 0; v < n; v++ {
+		v := v
+		minID[v] = net.ID(v)
+		procs[v] = congest.ProcFunc(func(ctx *congest.Ctx) bool {
+			improved := ctx.Round() == 0
+			for _, in2 := range ctx.Recv() {
+				if in2.Msg.A < minID[v] {
+					minID[v] = in2.Msg.A
+					improved = true
+				}
+			}
+			if improved {
+				for p := 0; p < ctx.Degree(); p++ {
+					if in.SamePart[v][p] {
+						ctx.Send(p, congest.Message{Kind: kindElect, A: minID[v]})
+					}
+				}
+			}
+			return false
+		})
+	}
+	if _, err := net.Run("part/elect", procs, maxRounds); err != nil {
+		return err
+	}
+	for v := 0; v < n; v++ {
+		in.LeaderID[v] = minID[v]
+		in.IsLeader[v] = net.ID(v) == minID[v]
+	}
+	return nil
+}
+
+// BFS is the outcome of a radius-capped intra-part BFS from part leaders.
+// Covered[v] reports (as knowledge at v!) whether v's entire part was
+// reached within the radius — the branch condition of Algorithms 1 and 3
+// (a part of at most D nodes always fits in radius D).
+type BFS struct {
+	Joined     []bool
+	ParentPort []int // toward the leader; -1 at the leader or if unjoined
+	ChildPorts [][]int
+	Depth      []int
+	Covered    []bool
+	Size       []int64 // part size, known when Covered (leader counts, then broadcasts)
+}
+
+// bfsState bundles the shared slices the capped-BFS procs write into.
+type bfsState struct {
+	in     *Info
+	radius int64
+	b      *BFS
+	// Child accounting for the convergecast stage: expected replies.
+	pendingChild []int
+	flag         []bool // a complaint reached this subtree
+	count        []int64
+	reported     []bool
+}
+
+// RestrictedBFS runs the capped intra-part BFS plus coverage verdict:
+//
+//  1. JOIN waves flood from leaders along intra-part edges for `radius`
+//     rounds; nodes adopt the first JOIN heard and reply CHILD so parents
+//     learn their children.
+//  2. Unjoined nodes complain (UNCOVERED) to intra-part neighbors.
+//  3. A convergecast up the partial BFS forest delivers to each leader the
+//     OR of complaints and the joined-node count.
+//  4. Leaders broadcast the verdict (covered?, size) back down.
+//
+// Rounds O(radius), messages O(Σ_i m_i) over intra-part edges.
+func RestrictedBFS(net *congest.Network, in *Info, radius int64, maxRounds int64) (*BFS, error) {
+	n := net.N()
+	b := &BFS{
+		Joined:     make([]bool, n),
+		ParentPort: make([]int, n),
+		ChildPorts: make([][]int, n),
+		Depth:      make([]int, n),
+		Covered:    make([]bool, n),
+		Size:       make([]int64, n),
+	}
+	st := &bfsState{
+		in: in, radius: radius, b: b,
+		pendingChild: make([]int, n),
+		flag:         make([]bool, n),
+		count:        make([]int64, n),
+		reported:     make([]bool, n),
+	}
+	procs := make([]congest.Proc, n)
+	for v := 0; v < n; v++ {
+		b.ParentPort[v] = -1
+		b.Depth[v] = -1
+		procs[v] = &bfsJoinProc{st: st, v: v}
+	}
+	if _, err := net.Run("part/bfs-join", procs, maxRounds); err != nil {
+		return nil, err
+	}
+	for v := 0; v < n; v++ {
+		procs[v] = &bfsVerdictProc{st: st, v: v}
+	}
+	if _, err := net.Run("part/bfs-verdict", procs, maxRounds); err != nil {
+		return nil, err
+	}
+	return b, nil
+}
+
+// bfsJoinProc: stage 1 (join wave + child registration).
+type bfsJoinProc struct {
+	st *bfsState
+	v  int
+}
+
+func (p *bfsJoinProc) Step(ctx *congest.Ctx) bool {
+	st, v := p.st, p.v
+	join := func(depth int64) {
+		st.b.Joined[v] = true
+		st.b.Depth[v] = int(depth)
+		if depth >= st.radius {
+			return // cap: do not extend the wave further
+		}
+		for q := 0; q < ctx.Degree(); q++ {
+			if st.in.SamePart[v][q] && q != st.b.ParentPort[v] && ctx.CanSend(q) {
+				ctx.Send(q, congest.Message{Kind: kindJoin, A: depth + 1})
+			}
+		}
+	}
+	if ctx.Round() == 0 && st.in.IsLeader[v] {
+		join(0)
+	}
+	for _, m := range ctx.Recv() {
+		switch m.Msg.Kind {
+		case kindJoin:
+			if st.b.Joined[v] {
+				continue // a JOIN to an already-joined node needs no reply
+			}
+			st.b.ParentPort[v] = m.Port
+			ctx.Send(m.Port, congest.Message{Kind: kindChild})
+			join(m.Msg.A)
+		case kindChild:
+			st.b.ChildPorts[v] = append(st.b.ChildPorts[v], m.Port)
+		}
+	}
+	return false
+}
+
+// bfsVerdictProc: stages 2-4 (complaints, convergecast, verdict broadcast).
+// pendingChild now holds the number of children that will report.
+type bfsVerdictProc struct {
+	st *bfsState
+	v  int
+}
+
+func (p *bfsVerdictProc) Step(ctx *congest.Ctx) bool {
+	st, v := p.st, p.v
+	if ctx.Round() == 0 {
+		if !st.b.Joined[v] {
+			// Complain to intra-part neighbors; some joined neighbor exists
+			// along the path toward the leader... or the whole part is
+			// unjoined, in which case no leader exists and no verdict is
+			// needed (Covered stays false).
+			for q := 0; q < ctx.Degree(); q++ {
+				if st.in.SamePart[v][q] {
+					ctx.Send(q, congest.Message{Kind: kindUncovered})
+				}
+			}
+			return false
+		}
+		st.count[v] = 1
+		st.pendingChild[v] = len(st.b.ChildPorts[v])
+	}
+	if !st.b.Joined[v] {
+		return false
+	}
+	for _, m := range ctx.Recv() {
+		switch m.Msg.Kind {
+		case kindUncovered:
+			st.flag[v] = true
+		case kindFlagUp:
+			st.flag[v] = st.flag[v] || m.Msg.A != 0
+			st.count[v] += m.Msg.B
+			st.pendingChild[v]--
+		case kindVerdictDown:
+			st.b.Covered[v] = m.Msg.A != 0
+			st.b.Size[v] = m.Msg.B
+			for _, q := range st.b.ChildPorts[v] {
+				ctx.Send(q, m.Msg)
+			}
+		}
+	}
+	// Fire the convergecast once all children reported. Round 1 is the
+	// earliest complaints can arrive, so leaves wait until round >= 2.
+	if ctx.Round() >= 2 && st.pendingChild[v] == 0 && !st.reported[v] {
+		st.reported[v] = true
+		flagBit := int64(0)
+		if st.flag[v] {
+			flagBit = 1
+		}
+		if st.b.ParentPort[v] >= 0 {
+			ctx.Send(st.b.ParentPort[v], congest.Message{Kind: kindFlagUp, A: flagBit, B: st.count[v]})
+		} else if st.in.IsLeader[v] {
+			covered := int64(1)
+			if st.flag[v] {
+				covered = 0
+			}
+			st.b.Covered[v] = covered != 0
+			st.b.Size[v] = st.count[v]
+			for _, q := range st.b.ChildPorts[v] {
+				ctx.Send(q, congest.Message{Kind: kindVerdictDown, A: covered, B: st.count[v]})
+			}
+		}
+		return false
+	}
+	return !st.reported[v]
+}
+
+// CheckAgainstDense verifies (engine-side) that coverage verdicts are
+// consistent with the dense partition: every node of a covered part is
+// joined and got the right size. Test/diagnostic helper.
+func (b *BFS) CheckAgainstDense(in *Info) error {
+	sizes := make(map[int]int64)
+	covered := make(map[int]bool)
+	for v, p := range in.Dense {
+		sizes[p]++
+		if b.Covered[v] {
+			covered[p] = true
+		}
+	}
+	for v, p := range in.Dense {
+		if covered[p] {
+			if !b.Joined[v] {
+				return fmt.Errorf("part: node %d of covered part %d not joined", v, p)
+			}
+			if !b.Covered[v] || b.Size[v] != sizes[p] {
+				return fmt.Errorf("part: node %d verdict (%v,%d), want (true,%d)", v, b.Covered[v], b.Size[v], sizes[p])
+			}
+		}
+	}
+	return nil
+}

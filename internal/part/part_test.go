@@ -1,0 +1,189 @@
+package part
+
+import (
+	"math/rand"
+	"testing"
+
+	"shortcutpa/internal/congest"
+	"shortcutpa/internal/graph"
+)
+
+const testBudget = 100000
+
+func TestFromDenseSamePartMatchesPartition(t *testing.T) {
+	g := graph.Grid(4, 5)
+	parts := graph.StripePartition(4, 5)
+	net := congest.NewNetwork(g, 1)
+	in, err := FromDense(net, parts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v := 0; v < g.N(); v++ {
+		for p := 0; p < g.Degree(v); p++ {
+			want := parts[g.Neighbor(v, p)] == parts[v]
+			if in.SamePart[v][p] != want {
+				t.Fatalf("node %d port %d: SamePart %v, want %v", v, p, in.SamePart[v][p], want)
+			}
+		}
+	}
+	if in.NumParts() != 4 {
+		t.Fatalf("NumParts = %d, want 4", in.NumParts())
+	}
+}
+
+func TestFromDenseRejectsDisconnectedParts(t *testing.T) {
+	g := graph.Path(4)
+	net := congest.NewNetwork(g, 1)
+	if _, err := FromDense(net, []int{0, 1, 0, 1}); err == nil {
+		t.Fatal("disconnected partition accepted")
+	}
+}
+
+func TestElectLeadersPerPart(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	g := graph.RandomConnected(50, 0.06, rng)
+	net := congest.NewNetwork(g, 3)
+	parts := graph.RandomConnectedPartition(g, 6, rng)
+	in, err := FromDense(net, parts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ElectLeaders(net, in, testBudget); err != nil {
+		t.Fatal(err)
+	}
+	// Every part's leader ID is the min ID in the part, and all members
+	// agree; exactly one member is the leader.
+	minID := make(map[int]int64)
+	for v := 0; v < g.N(); v++ {
+		p := in.Dense[v]
+		if id, ok := minID[p]; !ok || net.ID(v) < id {
+			minID[p] = net.ID(v)
+		}
+	}
+	leaders := make(map[int]int)
+	for v := 0; v < g.N(); v++ {
+		p := in.Dense[v]
+		if in.LeaderID[v] != minID[p] {
+			t.Fatalf("node %d: leader ID %d, want %d", v, in.LeaderID[v], minID[p])
+		}
+		if in.IsLeader[v] {
+			leaders[p]++
+		}
+	}
+	for p, c := range leaders {
+		if c != 1 {
+			t.Fatalf("part %d has %d leaders", p, c)
+		}
+	}
+	if len(leaders) != in.NumParts() {
+		t.Fatalf("%d parts have leaders, want %d", len(leaders), in.NumParts())
+	}
+}
+
+func TestRestrictedBFSCoverageVerdicts(t *testing.T) {
+	// Path of 30 nodes, split into a short part (6 nodes) and a long part
+	// (24 nodes). With radius 8 the short part is covered; the long one is
+	// covered only if its leader sits centrally — with flood-min the leader
+	// is at the min-ID node, so test both outcomes via the oracle check.
+	g := graph.Path(30)
+	parts := make([]int, 30)
+	for v := 6; v < 30; v++ {
+		parts[v] = 1
+	}
+	net := congest.NewNetwork(g, 7)
+	in, err := FromDense(net, parts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ElectLeaders(net, in, testBudget); err != nil {
+		t.Fatal(err)
+	}
+	b, err := RestrictedBFS(net, in, 8, testBudget)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := b.CheckAgainstDense(in); err != nil {
+		t.Fatal(err)
+	}
+	// The 6-node part always fits in radius 8.
+	for v := 0; v < 6; v++ {
+		if !b.Covered[v] {
+			t.Fatalf("node %d of the 6-node part not covered", v)
+		}
+		if b.Size[v] != 6 {
+			t.Fatalf("node %d sees size %d, want 6", v, b.Size[v])
+		}
+	}
+}
+
+func TestRestrictedBFSSmallRadiusLeavesUncovered(t *testing.T) {
+	g := graph.Path(20)
+	net := congest.NewNetwork(g, 9)
+	in, err := FromDense(net, graph.WholePartition(20))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ElectLeaders(net, in, testBudget); err != nil {
+		t.Fatal(err)
+	}
+	b, err := RestrictedBFS(net, in, 2, testBudget)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v := 0; v < g.N(); v++ {
+		if b.Covered[v] && !b.Joined[v] {
+			t.Fatalf("node %d covered but not joined", v)
+		}
+		if b.Covered[v] {
+			t.Fatalf("node %d claims covered with radius 2 on P20", v)
+		}
+	}
+	// Joined nodes are exactly those within 2 hops of the leader.
+	leader := -1
+	for v := 0; v < g.N(); v++ {
+		if in.IsLeader[v] {
+			leader = v
+		}
+	}
+	dist := g.BFSFrom(leader)
+	for v := 0; v < g.N(); v++ {
+		if b.Joined[v] != (dist[v] <= 2) {
+			t.Fatalf("node %d joined=%v at distance %d with radius 2", v, b.Joined[v], dist[v])
+		}
+	}
+}
+
+func TestRestrictedBFSRespectsPartBoundaries(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	for trial := 0; trial < 6; trial++ {
+		g := graph.RandomConnected(40, 0.08, rng)
+		net := congest.NewNetwork(g, int64(trial))
+		parts := graph.RandomConnectedPartition(g, 5, rng)
+		in, err := FromDense(net, parts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := ElectLeaders(net, in, testBudget); err != nil {
+			t.Fatal(err)
+		}
+		b, err := RestrictedBFS(net, in, int64(g.N()), testBudget)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := b.CheckAgainstDense(in); err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		// With radius n every part is covered, and parent edges stay inside
+		// the part.
+		for v := 0; v < g.N(); v++ {
+			if !b.Covered[v] {
+				t.Fatalf("trial %d: node %d uncovered at radius n", trial, v)
+			}
+			if p := b.ParentPort[v]; p >= 0 {
+				if in.Dense[g.Neighbor(v, p)] != in.Dense[v] {
+					t.Fatalf("trial %d: node %d parent crosses part boundary", trial, v)
+				}
+			}
+		}
+	}
+}

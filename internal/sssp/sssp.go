@@ -1,0 +1,276 @@
+// Package sssp implements Corollary 1.5: approximate single-source shortest
+// paths with a round/message profile governed by Part-Wise Aggregation, plus
+// the exact distributed Bellman-Ford baseline.
+//
+// The approximation follows the Haeupler-Li [18] recipe in simplified form
+// (see DESIGN.md, substitutions): edges lighter than a β-scaled threshold
+// are contracted into clusters whose internal traversal is charged an upper
+// bound ((size-1)·θ, available from one PA count); Bellman-Ford then runs
+// over the contracted graph, with each meta-step using one PA-min to spread
+// the best arrival through every cluster — exactly the paper's "traverse
+// zero-weight components in a single round via PA" device. Estimates are
+// always upper bounds on true distances; β trades approximation quality
+// against meta-rounds (β -> 0 recovers exact Bellman-Ford).
+package sssp
+
+import (
+	"fmt"
+
+	"shortcutpa/internal/congest"
+	"shortcutpa/internal/core"
+	"shortcutpa/internal/graph"
+	"shortcutpa/internal/part"
+	"shortcutpa/internal/tree"
+)
+
+const unreached = int64(1) << 62
+
+// Message kinds.
+const (
+	kindRelax int32 = iota + 140
+)
+
+// Result holds per-node distance estimates from the source.
+type Result struct {
+	Dist []int64 // estimate; upper bound on the true distance for Approx
+	// MetaRounds counts contracted Bellman-Ford iterations (Approx only).
+	MetaRounds int
+}
+
+// BellmanFord computes exact distances: every node repeatedly announces its
+// current distance; receivers relax by their incident edge weights. Rounds
+// equal the maximum hop count of a shortest path (Θ(n) worst case — the
+// round-suboptimal baseline); messages O(m) per improvement wave.
+func BellmanFord(e *core.Engine, src int) (*Result, error) {
+	n := e.N
+	dist := make([]int64, n)
+	for v := range dist {
+		dist[v] = unreached
+	}
+	procs := make([]congest.Proc, n)
+	for v := 0; v < n; v++ {
+		v := v
+		procs[v] = congest.ProcFunc(func(ctx *congest.Ctx) bool {
+			improved := false
+			if ctx.Round() == 0 && v == src {
+				dist[v] = 0
+				improved = true
+			}
+			g := e.Net.Graph()
+			for _, m := range ctx.Recv() {
+				if nd := m.Msg.A + int64(g.EdgeWeight(v, m.Port)); nd < dist[v] {
+					dist[v] = nd
+					improved = true
+				}
+			}
+			if improved {
+				ctx.Broadcast(congest.Message{Kind: kindRelax, A: dist[v]})
+			}
+			return false
+		})
+	}
+	if _, err := e.Net.Run("sssp/bellman-ford", procs, int64(16*n+4096)); err != nil {
+		return nil, err
+	}
+	return &Result{Dist: dist}, nil
+}
+
+// Approx computes upper-bound distance estimates via light-edge contraction.
+// beta in (0, 1]: the light threshold is beta times the average edge weight.
+func Approx(e *core.Engine, src int, beta float64) (*Result, error) {
+	if beta < 0 || beta > 1 {
+		return nil, fmt.Errorf("sssp: beta %v outside (0,1]", beta)
+	}
+	n := e.N
+	g := e.Net.Graph()
+
+	// Global average weight by tree aggregation (nodes learn θ).
+	budget := int64(16*n + 4096)
+	vals := make([]congest.Val, n)
+	for v := 0; v < n; v++ {
+		var sw int64
+		for q := 0; q < g.Degree(v); q++ {
+			sw += int64(g.EdgeWeight(v, q))
+		}
+		vals[v] = congest.Val{A: sw, B: int64(g.Degree(v))}
+	}
+	agg, err := tree.Convergecast(e.Net, e.Tree, vals, congest.SumPair, nil, budget)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := tree.Broadcast(e.Net, e.Tree, agg[e.Tree.Root], budget); err != nil {
+		return nil, err
+	}
+	theta := int64(beta * float64(agg[e.Tree.Root].A) / float64(max(agg[e.Tree.Root].B, 1)))
+
+	// Light-edge clusters: contract edges with weight <= θ.
+	in := lightPartition(e, theta)
+	if err := e.CoarsenToLeaders(in); err != nil {
+		return nil, fmt.Errorf("sssp: clustering: %w", err)
+	}
+	inf, err := e.BuildInfra(in)
+	if err != nil {
+		return nil, err
+	}
+
+	// Intra-cluster traversal bounds. For clusters covered by the radius-D
+	// BFS every node knows its hop depth to the cluster leader, so the path
+	// u -> leader -> v costs at most (depth(u)+depth(v))·θ: the PA key
+	// carries arrival(u)+depth(u)·θ and receivers add depth(v)·θ. Deeper
+	// clusters fall back to the loose whole-cluster span (size-1)·θ.
+	ones := make([]congest.Val, n)
+	for v := range ones {
+		ones[v] = congest.Val{A: 1}
+	}
+	sizes, err := e.SolveWithInfra(inf, ones, congest.SumPair)
+	if err != nil {
+		return nil, err
+	}
+	span := make([]int64, n)
+	inDepth := make([]int64, n)
+	for v := 0; v < n; v++ {
+		span[v] = (sizes.Values[v].A - 1) * theta
+		if inf.PB.Covered[v] {
+			inDepth[v] = int64(inf.PB.Depth[v]) * theta
+		}
+	}
+
+	// Contracted Bellman-Ford: PA-min spreads the best arrival through each
+	// cluster; one relax round crosses edges; a global OR decides
+	// termination.
+	arrival := make([]int64, n)
+	est := make([]int64, n)
+	for v := range arrival {
+		arrival[v] = unreached
+	}
+	arrival[src] = 0
+	res := &Result{Dist: est}
+	_, numParts := graph.NormalizeParts(in.Dense)
+	maxMeta := 2*numParts + 8
+	for iter := 0; ; iter++ {
+		if iter > maxMeta {
+			return nil, fmt.Errorf("sssp: contracted Bellman-Ford exceeded %d meta-rounds", maxMeta)
+		}
+		av := make([]congest.Val, n)
+		for v := 0; v < n; v++ {
+			key := arrival[v]
+			if key < unreached && inf.PB.Covered[v] {
+				key += inDepth[v]
+			}
+			av[v] = congest.Val{A: key}
+		}
+		entry, err := e.SolveWithInfra(inf, av, congest.MinPair)
+		if err != nil {
+			return nil, err
+		}
+		for v := 0; v < n; v++ {
+			est[v] = arrival[v]
+			if entry.Values[v].A < unreached {
+				cand := entry.Values[v].A + span[v]
+				if inf.PB.Covered[v] {
+					cand = entry.Values[v].A + inDepth[v]
+				}
+				if cand < est[v] {
+					est[v] = cand
+				}
+			}
+		}
+		changed, err := relaxRound(e, in, est, arrival)
+		if err != nil {
+			return nil, err
+		}
+		res.MetaRounds = iter + 1
+		flag, err := globalOr(e, changed)
+		if err != nil {
+			return nil, err
+		}
+		if !flag {
+			break
+		}
+	}
+	return res, nil
+}
+
+// lightPartition builds the partition induced by edges of weight <= θ.
+func lightPartition(e *core.Engine, theta int64) *part.Info {
+	g := e.Net.Graph()
+	n := e.N
+	in := &part.Info{
+		SamePart: make([][]bool, n),
+		LeaderID: make([]int64, n),
+		IsLeader: make([]bool, n),
+		Dense:    make([]int, n),
+	}
+	keep := make([]bool, g.M())
+	for i := 0; i < g.M(); i++ {
+		keep[i] = int64(g.Edge(i).W) <= theta
+	}
+	dense, _ := g.SubgraphComponents(keep)
+	copy(in.Dense, dense)
+	for v := 0; v < n; v++ {
+		in.LeaderID[v] = -1
+		in.SamePart[v] = make([]bool, g.Degree(v))
+		for q := 0; q < g.Degree(v); q++ {
+			in.SamePart[v][q] = keep[g.EdgeIndex(v, q)]
+		}
+	}
+	return in
+}
+
+// relaxRound: every reached node announces its estimate once across
+// cluster-leaving edges; receivers relax by edge weights. Intra-cluster
+// edges are deliberately excluded — the PA entry+span pass owns the inside
+// of each cluster, which is what bounds the meta-round count by the
+// cluster-hop diameter (relaxing inside clusters too would trickle one edge
+// per meta-round and defeat the contraction). Reports per-node improvement
+// flags.
+func relaxRound(e *core.Engine, in *part.Info, est, arrival []int64) ([]bool, error) {
+	n := e.N
+	g := e.Net.Graph()
+	changed := make([]bool, n)
+	procs := make([]congest.Proc, n)
+	for v := 0; v < n; v++ {
+		v := v
+		procs[v] = congest.ProcFunc(func(ctx *congest.Ctx) bool {
+			if ctx.Round() == 0 && est[v] < unreached {
+				for q := 0; q < ctx.Degree(); q++ {
+					if !in.SamePart[v][q] {
+						ctx.Send(q, congest.Message{Kind: kindRelax, A: est[v]})
+					}
+				}
+			}
+			for _, m := range ctx.Recv() {
+				if nd := m.Msg.A + int64(g.EdgeWeight(v, m.Port)); nd < arrival[v] && nd < est[v] {
+					arrival[v] = nd
+					changed[v] = true
+				}
+			}
+			return false
+		})
+	}
+	if _, err := e.Net.Run("sssp/relax", procs, int64(16*n+4096)); err != nil {
+		return nil, err
+	}
+	return changed, nil
+}
+
+// globalOr aggregates per-node flags on the engine tree; every node learns
+// the result.
+func globalOr(e *core.Engine, flags []bool) (bool, error) {
+	n := e.N
+	budget := int64(16*n + 4096)
+	vals := make([]congest.Val, n)
+	for v := 0; v < n; v++ {
+		if flags[v] {
+			vals[v] = congest.Val{A: 1}
+		}
+	}
+	agg, err := tree.Convergecast(e.Net, e.Tree, vals, congest.OrPair, nil, budget)
+	if err != nil {
+		return false, err
+	}
+	if _, err := tree.Broadcast(e.Net, e.Tree, agg[e.Tree.Root], budget); err != nil {
+		return false, err
+	}
+	return agg[e.Tree.Root].A != 0, nil
+}

@@ -1,0 +1,127 @@
+package sssp
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+
+	"shortcutpa/internal/congest"
+	"shortcutpa/internal/core"
+	"shortcutpa/internal/graph"
+)
+
+func newEngine(t *testing.T, g *graph.Graph, seed int64) *core.Engine {
+	t.Helper()
+	net := congest.NewNetwork(g, seed)
+	e, err := core.NewEngine(net, core.Randomized)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e
+}
+
+func TestBellmanFordMatchesDijkstra(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 6; trial++ {
+		g := graph.RandomizeWeights(graph.RandomConnected(50, 0.08, rng), 40, rng)
+		e := newEngine(t, g, int64(trial+3))
+		src := rng.Intn(g.N())
+		res, err := BellmanFord(e, src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := g.Dijkstra(src)
+		for v := 0; v < g.N(); v++ {
+			if res.Dist[v] != want[v] {
+				t.Fatalf("trial %d node %d: BF %d, Dijkstra %d", trial, v, res.Dist[v], want[v])
+			}
+		}
+	}
+}
+
+func TestBellmanFordRoundsTrackHopDiameter(t *testing.T) {
+	g := graph.Path(100)
+	e := newEngine(t, g, 5)
+	e.Net.ResetMetrics()
+	if _, err := BellmanFord(e, 0); err != nil {
+		t.Fatal(err)
+	}
+	rounds := e.Net.Total().Rounds
+	if rounds < 99 {
+		t.Fatalf("BF on P100 finished in %d rounds; must pay the hop diameter", rounds)
+	}
+}
+
+func TestApproxZeroBetaIsExact(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	g := graph.RandomizeWeights(graph.RandomConnected(40, 0.1, rng), 30, rng)
+	e := newEngine(t, g, 8)
+	src := 3
+	res, err := Approx(e, src, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := g.Dijkstra(src)
+	for v := 0; v < g.N(); v++ {
+		if res.Dist[v] != want[v] {
+			t.Fatalf("node %d: approx(beta=0) %d, Dijkstra %d", v, res.Dist[v], want[v])
+		}
+	}
+}
+
+func TestApproxIsUpperBoundAndBounded(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	for trial := 0; trial < 5; trial++ {
+		g := graph.RandomizeWeights(graph.RandomConnected(60, 0.07, rng), 100, rng)
+		e := newEngine(t, g, int64(trial+20))
+		src := rng.Intn(g.N())
+		res, err := Approx(e, src, 0.5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := g.Dijkstra(src)
+		var ratios []float64
+		for v := 0; v < g.N(); v++ {
+			if res.Dist[v] < want[v] {
+				t.Fatalf("trial %d node %d: estimate %d below true %d", trial, v, res.Dist[v], want[v])
+			}
+			if want[v] > 0 {
+				ratios = append(ratios, float64(res.Dist[v])/float64(want[v]))
+			}
+		}
+		sort.Float64s(ratios)
+		median := ratios[len(ratios)/2]
+		worst := ratios[len(ratios)-1]
+		// Corollary 1.5 guarantees an L^O(eps) factor — polynomial in the
+		// distance scale, not constant. Shape checks: typical quality is
+		// good (median), and even the worst node stays far below the
+		// trivial n-fold blow-up.
+		if median > 10 {
+			t.Fatalf("trial %d: median approximation ratio %.1f", trial, median)
+		}
+		if worst > 150 {
+			t.Fatalf("trial %d: worst approximation ratio %.1f", trial, worst)
+		}
+	}
+}
+
+func TestApproxMetaRoundsShrinkWithBeta(t *testing.T) {
+	// Larger beta -> coarser clusters -> fewer contracted Bellman-Ford
+	// iterations. This is the paper's beta tradeoff (rounds vs quality).
+	rng := rand.New(rand.NewSource(11))
+	g := graph.RandomizeWeights(graph.Path(150), 10, rng)
+	e1 := newEngine(t, g, 12)
+	exact, err := Approx(e1, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e2 := newEngine(t, g, 12)
+	coarse, err := Approx(e2, 0, 1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if coarse.MetaRounds >= exact.MetaRounds {
+		t.Fatalf("beta=1 used %d meta-rounds, beta=0 used %d; contraction should shorten the chain",
+			coarse.MetaRounds, exact.MetaRounds)
+	}
+}

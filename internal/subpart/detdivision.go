@@ -1,0 +1,350 @@
+package subpart
+
+import (
+	"fmt"
+
+	"shortcutpa/internal/congest"
+	"shortcutpa/internal/part"
+)
+
+// detdivision.go implements Algorithm 6: the deterministic sub-part
+// division. Every node of an uncovered part starts as its own sub-part;
+// O(log n) rounds of star joinings merge sub-parts (incomplete sub-parts
+// prefer incomplete targets in their part, falling back to complete ones),
+// joiners re-root their spanning trees at the attachment point and adopt
+// the receiver's representative, and a sub-part freezes ("complete") once
+// it reaches D nodes. Lemma 6.4: the result is a division with Õ(|P_i|/D)
+// sub-parts whose trees keep O(D) diameter (the paper's 4D argument).
+//
+// Parts already covered by the radius-D BFS become single whole-part
+// sub-parts, as in the randomized division.
+
+// Deterministic-division message kinds.
+const (
+	kindAttach int32 = iota + 155
+	kindAttachAck
+	kindFlip
+	kindSubInfo
+	kindDepthDown
+)
+
+const negInf = -(int64(1) << 62)
+
+// DeterministicDivision computes the Algorithm 6 division. d is the
+// completeness threshold (the paper's D).
+func DeterministicDivision(net *congest.Network, in *part.Info, pb *part.BFS, d int64, maxRounds int64) (*Division, error) {
+	n := net.N()
+	div := newDivision(n)
+	g := net.Graph()
+
+	// Covered parts: whole-part sub-parts from the part BFS tree.
+	// Uncovered parts: singleton sub-parts.
+	complete := make([]bool, n) // my sub-part is complete (frozen)
+	for v := 0; v < n; v++ {
+		if pb.Covered[v] {
+			div.RepID[v] = in.LeaderID[v]
+			div.IsRep[v] = in.IsLeader[v]
+			div.ParentPort[v] = pb.ParentPort[v]
+			div.ChildPorts[v] = append([]int(nil), pb.ChildPorts[v]...)
+			div.WholePart[v] = true
+			complete[v] = true
+			continue
+		}
+		div.RepID[v] = net.ID(v)
+		div.IsRep[v] = true
+	}
+
+	fa := &ForestAgg{Net: net, Div: div, Budget: maxRounds}
+	maxIters := 2*log2ceil(n) + 8
+	for iter := 0; ; iter++ {
+		if iter > maxIters {
+			return nil, fmt.Errorf("subpart: Algorithm 6 did not converge in %d iterations", maxIters)
+		}
+		// Refresh neighbor knowledge: (rep ID, completeness) per port.
+		nbrRep, nbrComplete, err := exchangeSubInfo(net, div, complete, maxRounds)
+		if err != nil {
+			return nil, err
+		}
+		// Candidate out-edges for incomplete sub-parts: same part, different
+		// sub-part; prefer incomplete targets (class 0) over complete ones
+		// (class 1). Each sub-part picks the minimum (class, ID, port).
+		cand := make([]congest.Val, n)
+		hasAny := false
+		for v := 0; v < n; v++ {
+			cand[v] = congest.Val{A: 1 << 62}
+			if complete[v] || pb.Covered[v] {
+				continue
+			}
+			for q := 0; q < g.Degree(v); q++ {
+				if !in.SamePart[v][q] || nbrRep[v][q] == div.RepID[v] {
+					continue
+				}
+				class := int64(0)
+				if nbrComplete[v][q] {
+					class = 1
+				}
+				val := congest.Val{A: class*(1<<50) + net.ID(v), B: int64(q)}
+				cand[v] = congest.MinPair(cand[v], val)
+				hasAny = true
+			}
+		}
+		if !hasAny {
+			break
+		}
+		mins, err := fa.Aggregate(cand, congest.MinPair)
+		if err != nil {
+			return nil, err
+		}
+		chosen := make([]int, n)
+		for v := 0; v < n; v++ {
+			chosen[v] = -1
+			if mins[v].A != 1<<62 && mins[v].A%(1<<50) == net.ID(v) {
+				chosen[v] = int(mins[v].B)
+			}
+		}
+
+		// Star joining over the sub-parts.
+		si := &part.Info{
+			SamePart: div.SameSubOrSelf(net, in),
+			LeaderID: div.RepID,
+			IsLeader: div.IsRep,
+			Dense:    denseFromReps(net, div),
+		}
+		sj, err := StarJoin(net, si, chosen, fa, true, int64(iter), maxRounds)
+		if err != nil {
+			return nil, err
+		}
+
+		// Joiner endpoints query the receiver's rep ID across the chosen
+		// edge (no structural change yet).
+		newRep, err := attachRound(net, chosen, div, sj, maxRounds)
+		if err != nil {
+			return nil, err
+		}
+		// Spread the adopted rep ID over the OLD joiner trees while they
+		// are still intact.
+		spread, err := fa.Aggregate(newRep, congest.MaxPair)
+		if err != nil {
+			return nil, err
+		}
+		// Re-root joiner trees at their endpoints and attach them as
+		// children on the receiver side.
+		if err := rerootJoiners(net, div, chosen, sj, maxRounds); err != nil {
+			return nil, err
+		}
+		for v := 0; v < n; v++ {
+			if sj.Role[v] == RoleJoiner && spread[v].A > negInf {
+				div.RepID[v] = spread[v].A
+				div.IsRep[v] = div.RepID[v] == net.ID(v)
+			}
+		}
+		// Completeness: sub-part size >= d freezes it (joiners now count
+		// within their receiver's tree).
+		ones := make([]congest.Val, n)
+		for v := range ones {
+			ones[v] = congest.Val{A: 1}
+		}
+		sizes, err := fa.Aggregate(ones, congest.SumPair)
+		if err != nil {
+			return nil, err
+		}
+		for v := 0; v < n; v++ {
+			if !pb.Covered[v] {
+				complete[v] = sizes[v].A >= d
+			}
+		}
+	}
+
+	// Final passes: depths down the trees, and the SameSub port exchange.
+	if err := computeDepths(net, div, maxRounds); err != nil {
+		return nil, err
+	}
+	if err := exchangeReps(net, in, div, maxRounds); err != nil {
+		return nil, err
+	}
+	return div, nil
+}
+
+// SameSubOrSelf derives per-port same-sub-part flags from current rep IDs
+// for the star joining's partition view (engine-side convenience; the
+// protocol equivalent is the exchange in exchangeSubInfo).
+func (div *Division) SameSubOrSelf(net *congest.Network, in *part.Info) [][]bool {
+	g := net.Graph()
+	n := g.N()
+	out := make([][]bool, n)
+	for v := 0; v < n; v++ {
+		out[v] = make([]bool, g.Degree(v))
+		for q := 0; q < g.Degree(v); q++ {
+			u := g.Neighbor(v, q)
+			out[v][q] = in.SamePart[v][q] && div.RepID[u] == div.RepID[v]
+		}
+	}
+	return out
+}
+
+// denseFromReps labels sub-parts densely (engine-side diagnostics).
+func denseFromReps(net *congest.Network, div *Division) []int {
+	n := net.N()
+	dense := make(map[int64]int)
+	out := make([]int, n)
+	for v := 0; v < n; v++ {
+		id, ok := dense[div.RepID[v]]
+		if !ok {
+			id = len(dense)
+			dense[div.RepID[v]] = id
+		}
+		out[v] = id
+	}
+	return out
+}
+
+// exchangeSubInfo: one round announcing (rep ID, completeness) on all ports.
+func exchangeSubInfo(net *congest.Network, div *Division, complete []bool, maxRounds int64) ([][]int64, [][]bool, error) {
+	n := net.N()
+	g := net.Graph()
+	nbrRep := make([][]int64, n)
+	nbrComplete := make([][]bool, n)
+	procs := make([]congest.Proc, n)
+	for v := 0; v < n; v++ {
+		v := v
+		nbrRep[v] = make([]int64, g.Degree(v))
+		nbrComplete[v] = make([]bool, g.Degree(v))
+		procs[v] = congest.ProcFunc(func(ctx *congest.Ctx) bool {
+			if ctx.Round() == 0 {
+				flag := int64(0)
+				if complete[v] {
+					flag = 1
+				}
+				ctx.Broadcast(congest.Message{Kind: kindSubInfo, A: div.RepID[v], B: flag})
+			}
+			for _, m := range ctx.Recv() {
+				nbrRep[v][m.Port] = m.Msg.A
+				nbrComplete[v][m.Port] = m.Msg.B != 0
+			}
+			return false
+		})
+	}
+	if _, err := net.Run("subpart/subinfo", procs, maxRounds); err != nil {
+		return nil, nil, err
+	}
+	return nbrRep, nbrComplete, nil
+}
+
+// attachRound: joiner endpoints query the far side's rep ID over the
+// chosen edge. Returns the per-node adopted-rep values (negInf where not an
+// endpoint). Purely informational — tree surgery happens in rerootJoiners.
+func attachRound(net *congest.Network, chosen []int, div *Division, sj *StarJoinResult, maxRounds int64) ([]congest.Val, error) {
+	n := net.N()
+	newRep := make([]congest.Val, n)
+	for v := range newRep {
+		newRep[v] = congest.Val{A: negInf}
+	}
+	procs := make([]congest.Proc, n)
+	for v := 0; v < n; v++ {
+		v := v
+		procs[v] = congest.ProcFunc(func(ctx *congest.Ctx) bool {
+			if ctx.Round() == 0 && sj.Role[v] == RoleJoiner && chosen[v] >= 0 {
+				ctx.Send(chosen[v], congest.Message{Kind: kindAttach})
+			}
+			for _, m := range ctx.Recv() {
+				switch m.Msg.Kind {
+				case kindAttach:
+					ctx.Send(m.Port, congest.Message{Kind: kindAttachAck, A: div.RepID[v]})
+				case kindAttachAck:
+					newRep[v] = congest.Val{A: m.Msg.A}
+				}
+			}
+			return false
+		})
+	}
+	if _, err := net.Run("subpart/attach", procs, maxRounds); err != nil {
+		return nil, err
+	}
+	return newRep, nil
+}
+
+// rerootJoiners re-roots each joiner sub-part's tree at its attachment
+// endpoint (the endpoint takes the chosen edge as its parent, a FLIP wave
+// inverts parent pointers along the path to the old representative) and
+// registers the endpoint as a child on the receiver side (ATTACH).
+func rerootJoiners(net *congest.Network, div *Division, chosen []int, sj *StarJoinResult, maxRounds int64) error {
+	n := net.N()
+	procs := make([]congest.Proc, n)
+	for v := 0; v < n; v++ {
+		v := v
+		procs[v] = congest.ProcFunc(func(ctx *congest.Ctx) bool {
+			flip := func(newParent int) {
+				old := div.ParentPort[v]
+				div.ParentPort[v] = newParent
+				if old >= 0 {
+					ctx.Send(old, congest.Message{Kind: kindFlip})
+					div.ChildPorts[v] = append(div.ChildPorts[v], old)
+				}
+				div.IsRep[v] = false
+			}
+			if ctx.Round() == 0 && sj.Role[v] == RoleJoiner && chosen[v] >= 0 {
+				ctx.Send(chosen[v], congest.Message{Kind: kindAttach})
+				flip(chosen[v])
+			}
+			for _, m := range ctx.Recv() {
+				switch m.Msg.Kind {
+				case kindAttach:
+					// A joiner endpoint hangs below me now.
+					div.ChildPorts[v] = append(div.ChildPorts[v], m.Port)
+				case kindFlip:
+					// A FLIP from port q: the sender becomes my parent and
+					// leaves my children.
+					div.ChildPorts[v] = removePort(div.ChildPorts[v], m.Port)
+					flip(m.Port)
+				}
+			}
+			return false
+		})
+	}
+	_, err := net.Run("subpart/reroot", procs, maxRounds)
+	return err
+}
+
+// computeDepths broadcasts depths down the final sub-part trees.
+func computeDepths(net *congest.Network, div *Division, maxRounds int64) error {
+	n := net.N()
+	procs := make([]congest.Proc, n)
+	for v := 0; v < n; v++ {
+		v := v
+		procs[v] = congest.ProcFunc(func(ctx *congest.Ctx) bool {
+			down := func(depth int64) {
+				div.Depth[v] = int(depth)
+				for _, q := range div.ChildPorts[v] {
+					ctx.Send(q, congest.Message{Kind: kindDepthDown, A: depth + 1})
+				}
+			}
+			if ctx.Round() == 0 && div.IsRep[v] {
+				down(0)
+			}
+			for _, m := range ctx.Recv() {
+				down(m.Msg.A)
+			}
+			return false
+		})
+	}
+	_, err := net.Run("subpart/depths", procs, maxRounds)
+	return err
+}
+
+func removePort(ports []int, q int) []int {
+	out := ports[:0]
+	for _, p := range ports {
+		if p != q {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+func log2ceil(n int) int {
+	k := 0
+	for s := 1; s < n; s *= 2 {
+		k++
+	}
+	return k
+}

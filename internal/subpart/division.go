@@ -1,0 +1,267 @@
+// Package subpart implements the paper's sub-part divisions (Definition 4.1)
+// and the machinery for computing them: the randomized sampling division
+// (Algorithm 3), star joinings (Definition 6.1 / Algorithm 5, randomized and
+// deterministic via Cole–Vishkin), and the deterministic division
+// (Algorithm 6).
+//
+// A sub-part division refines each part into Õ(|P_i|/D) sub-parts, each with
+// a spanning tree of diameter O(D) rooted at a designated representative.
+// Only representatives may inject messages into shortcuts, which is the
+// paper's key device for message-optimality (Section 3.2).
+package subpart
+
+import (
+	"fmt"
+	"math"
+
+	"shortcutpa/internal/congest"
+	"shortcutpa/internal/part"
+)
+
+// Message kinds used by this package's protocols.
+const (
+	kindClaim int32 = iota + 50
+	kindChild
+	kindRepExchange
+)
+
+// Division is a sub-part division as local knowledge: entry v of each slice
+// belongs to node v.
+type Division struct {
+	RepID      []int64 // ID of v's sub-part representative
+	IsRep      []bool
+	ParentPort []int // toward the representative within the sub-part tree; -1 at the rep
+	ChildPorts [][]int
+	WholePart  []bool   // v's part is one sub-part (the covered / small-part branch)
+	SameSub    [][]bool // per port: neighbor is in the same sub-part
+	Depth      []int    // hop distance to the representative along the sub-part tree
+}
+
+func newDivision(n int) *Division {
+	d := &Division{
+		RepID:      make([]int64, n),
+		IsRep:      make([]bool, n),
+		ParentPort: make([]int, n),
+		ChildPorts: make([][]int, n),
+		WholePart:  make([]bool, n),
+		SameSub:    make([][]bool, n),
+		Depth:      make([]int, n),
+	}
+	for v := range d.ParentPort {
+		d.ParentPort[v] = -1
+		d.RepID[v] = -1
+		d.Depth[v] = -1
+	}
+	return d
+}
+
+// RandomDivision computes a sub-part division via Algorithm 3. Parts covered
+// by pb (intra-part BFS of radius D reached everyone) become a single
+// sub-part rooted at the leader. In larger parts every node self-elects as a
+// representative with probability min(1, ln(n)/D) and an O(D)-round
+// restricted wave has each node adopt the first representative it hears
+// (w.h.p. every node is reached and each part gets Õ(|P_i|/D) sub-parts,
+// Lemma 5.1). Nodes left unreached — a 1/poly(n) probability event — fall
+// back to singleton sub-parts, preserving correctness unconditionally.
+func RandomDivision(net *congest.Network, in *part.Info, pb *part.BFS, d int64, maxRounds int64) (*Division, error) {
+	n := net.N()
+	if d < 1 {
+		d = 1
+	}
+	div := newDivision(n)
+
+	// Covered parts: adopt the part BFS tree wholesale.
+	for v := 0; v < n; v++ {
+		if pb.Covered[v] {
+			div.RepID[v] = in.LeaderID[v]
+			div.IsRep[v] = in.IsLeader[v]
+			div.ParentPort[v] = pb.ParentPort[v]
+			div.ChildPorts[v] = append([]int(nil), pb.ChildPorts[v]...)
+			div.WholePart[v] = true
+			div.Depth[v] = pb.Depth[v]
+		}
+	}
+
+	// Sampling wave over uncovered parts, with the paper's probability
+	// min{1, log n / D}; the singleton fallback below covers the 1/poly(n)
+	// failure probability unconditionally.
+	prob := math.Min(1, math.Log(float64(n)+2)/float64(d))
+	procs := make([]congest.Proc, n)
+	for v := 0; v < n; v++ {
+		procs[v] = &waveProc{net: net, in: in, div: div, covered: pb.Covered[v], v: v, d: d, prob: prob}
+	}
+	if _, err := net.Run("subpart/wave", procs, maxRounds); err != nil {
+		return nil, err
+	}
+
+	// Unreached nodes of uncovered parts become singleton representatives.
+	for v := 0; v < n; v++ {
+		if div.RepID[v] < 0 {
+			div.RepID[v] = net.ID(v)
+			div.IsRep[v] = true
+		}
+	}
+
+	if err := exchangeReps(net, in, div, maxRounds); err != nil {
+		return nil, err
+	}
+	return div, nil
+}
+
+// waveProc implements the Algorithm 3 wave on one node: self-elect with
+// probability prob, then adopt the first representative ID heard, register
+// as a child, and forward the wave within the ball of radius d.
+type waveProc struct {
+	net     *congest.Network
+	in      *part.Info
+	div     *Division
+	v       int
+	d       int64
+	prob    float64
+	covered bool
+	claimed bool
+}
+
+func (w *waveProc) Step(ctx *congest.Ctx) bool {
+	if w.covered {
+		return false
+	}
+	div, v := w.div, w.v
+	forward := func(depth int64) {
+		if depth >= w.d {
+			return
+		}
+		for q := 0; q < ctx.Degree(); q++ {
+			if w.in.SamePart[v][q] && q != div.ParentPort[v] && ctx.CanSend(q) {
+				ctx.Send(q, congest.Message{Kind: kindClaim, A: div.RepID[v], B: depth + 1})
+			}
+		}
+	}
+	if ctx.Round() == 0 && ctx.Rand().Float64() < w.prob {
+		w.claimed = true
+		div.IsRep[v] = true
+		div.RepID[v] = ctx.ID()
+		div.Depth[v] = 0
+		forward(0)
+	}
+	for _, m := range ctx.Recv() {
+		switch m.Msg.Kind {
+		case kindClaim:
+			if w.claimed {
+				continue
+			}
+			w.claimed = true
+			div.RepID[v] = m.Msg.A
+			div.ParentPort[v] = m.Port
+			div.Depth[v] = int(m.Msg.B)
+			ctx.Send(m.Port, congest.Message{Kind: kindChild})
+			forward(m.Msg.B)
+		case kindChild:
+			div.ChildPorts[v] = append(div.ChildPorts[v], m.Port)
+		}
+	}
+	return false
+}
+
+// exchangeReps has every node announce its representative ID across
+// intra-part edges so that both endpoints learn whether the edge stays
+// inside a sub-part (needed for Algorithm 1's exit-edge broadcasts).
+// One round, O(Σ_i m_i) messages.
+func exchangeReps(net *congest.Network, in *part.Info, div *Division, maxRounds int64) error {
+	n := net.N()
+	procs := make([]congest.Proc, n)
+	for v := 0; v < n; v++ {
+		v := v
+		div.SameSub[v] = make([]bool, net.Graph().Degree(v))
+		procs[v] = congest.ProcFunc(func(ctx *congest.Ctx) bool {
+			if ctx.Round() == 0 {
+				for q := 0; q < ctx.Degree(); q++ {
+					if in.SamePart[v][q] {
+						ctx.Send(q, congest.Message{Kind: kindRepExchange, A: div.RepID[v]})
+					}
+				}
+			}
+			for _, m := range ctx.Recv() {
+				div.SameSub[v][m.Port] = m.Msg.A == div.RepID[v]
+			}
+			return false
+		})
+	}
+	_, err := net.Run("subpart/exchange", procs, maxRounds)
+	return err
+}
+
+// Validate checks division invariants engine-side (test/diagnostic aid):
+// sub-part trees stay within parts, parent pointers lead acyclically to the
+// representative within the stated depth, child/parent views agree, and
+// SameSub matches RepID equality.
+func (div *Division) Validate(net *congest.Network, in *part.Info, maxDepth int) error {
+	g := net.Graph()
+	n := g.N()
+	for v := 0; v < n; v++ {
+		if div.IsRep[v] {
+			if div.RepID[v] != net.ID(v) {
+				return fmt.Errorf("subpart: rep %d has RepID %d, want own ID", v, div.RepID[v])
+			}
+			if div.ParentPort[v] != -1 {
+				return fmt.Errorf("subpart: rep %d has a parent", v)
+			}
+		}
+		// Walk to the representative.
+		u, steps := v, 0
+		for div.ParentPort[u] >= 0 {
+			next := g.Neighbor(u, div.ParentPort[u])
+			if in.Dense[next] != in.Dense[v] {
+				return fmt.Errorf("subpart: tree edge %d-%d crosses parts", u, next)
+			}
+			if div.RepID[next] != div.RepID[v] {
+				return fmt.Errorf("subpart: tree edge %d-%d crosses sub-parts", u, next)
+			}
+			u = next
+			steps++
+			if steps > n {
+				return fmt.Errorf("subpart: parent cycle at node %d", v)
+			}
+		}
+		if !div.IsRep[u] {
+			return fmt.Errorf("subpart: node %d's chain ends at non-rep %d", v, u)
+		}
+		if div.RepID[v] != net.ID(u) {
+			return fmt.Errorf("subpart: node %d RepID %d but chain reaches %d", v, div.RepID[v], net.ID(u))
+		}
+		if maxDepth > 0 && steps > maxDepth {
+			return fmt.Errorf("subpart: node %d at tree depth %d > %d", v, steps, maxDepth)
+		}
+		for _, q := range div.ChildPorts[v] {
+			c := g.Neighbor(v, q)
+			if div.ParentPort[c] < 0 || g.Neighbor(c, div.ParentPort[c]) != v {
+				return fmt.Errorf("subpart: child link %d->%d not mirrored", v, c)
+			}
+		}
+		for q := 0; q < g.Degree(v); q++ {
+			u := g.Neighbor(v, q)
+			want := in.Dense[u] == in.Dense[v] && div.RepID[u] == div.RepID[v]
+			if in.Dense[u] == in.Dense[v] && div.SameSub[v][q] != want {
+				return fmt.Errorf("subpart: SameSub[%d][%d]=%v, want %v", v, q, div.SameSub[v][q], want)
+			}
+		}
+	}
+	return nil
+}
+
+// CountSubParts returns (engine-side) the number of sub-parts per dense part
+// ID.
+func (div *Division) CountSubParts(in *part.Info) map[int]int {
+	repsSeen := make(map[int]map[int64]struct{})
+	for v, p := range in.Dense {
+		if repsSeen[p] == nil {
+			repsSeen[p] = make(map[int64]struct{})
+		}
+		repsSeen[p][div.RepID[v]] = struct{}{}
+	}
+	out := make(map[int]int, len(repsSeen))
+	for p, s := range repsSeen {
+		out[p] = len(s)
+	}
+	return out
+}

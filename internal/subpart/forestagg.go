@@ -1,0 +1,80 @@
+package subpart
+
+import (
+	"shortcutpa/internal/congest"
+)
+
+// ForestAgg aggregates within the sub-part forest of a Division: one
+// convergecast up each sub-part tree followed by a broadcast down it. This
+// is Lemma 6.4's observation that aggregating inside incomplete sub-parts
+// is trivial: the trees have diameter O(D) and every node knows its parent.
+// It implements Agg, so Algorithm 6 can drive star joinings with it.
+type ForestAgg struct {
+	Net *congest.Network
+	Div *Division
+	// Budget caps each run.
+	Budget int64
+}
+
+var _ Agg = (*ForestAgg)(nil)
+
+// Forest-aggregation message kinds.
+const (
+	kindForestUp int32 = iota + 65
+	kindForestDown
+)
+
+// Aggregate implements Agg over the division's sub-part trees.
+func (fa *ForestAgg) Aggregate(vals []congest.Val, f congest.Combine) ([]congest.Val, error) {
+	n := fa.Net.N()
+	out := make([]congest.Val, n)
+	procs := make([]congest.Proc, n)
+	for v := 0; v < n; v++ {
+		procs[v] = &forestAggProc{div: fa.Div, f: f, v: v, acc: vals[v], out: out}
+	}
+	if _, err := fa.Net.Run("subpart/forest-agg", procs, fa.Budget); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+type forestAggProc struct {
+	div     *Division
+	f       congest.Combine
+	v       int
+	acc     congest.Val
+	out     []congest.Val
+	waiting int
+	fired   bool
+}
+
+func (p *forestAggProc) Step(ctx *congest.Ctx) bool {
+	div, v := p.div, p.v
+	if ctx.Round() == 0 {
+		p.waiting = len(div.ChildPorts[v])
+	}
+	for _, m := range ctx.Recv() {
+		switch m.Msg.Kind {
+		case kindForestUp:
+			p.acc = p.f(p.acc, congest.Val{A: m.Msg.A, B: m.Msg.B})
+			p.waiting--
+		case kindForestDown:
+			p.out[v] = congest.Val{A: m.Msg.A, B: m.Msg.B}
+			for _, q := range div.ChildPorts[v] {
+				ctx.Send(q, m.Msg)
+			}
+		}
+	}
+	if p.waiting == 0 && !p.fired {
+		p.fired = true
+		if pp := div.ParentPort[v]; pp >= 0 {
+			ctx.Send(pp, congest.Message{Kind: kindForestUp, A: p.acc.A, B: p.acc.B})
+		} else {
+			p.out[v] = p.acc
+			for _, q := range div.ChildPorts[v] {
+				ctx.Send(q, congest.Message{Kind: kindForestDown, A: p.acc.A, B: p.acc.B})
+			}
+		}
+	}
+	return false
+}

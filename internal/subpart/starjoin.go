@@ -1,0 +1,522 @@
+package subpart
+
+import (
+	"fmt"
+
+	"shortcutpa/internal/congest"
+	"shortcutpa/internal/part"
+)
+
+// starjoin.go implements star joinings (Definition 6.1 / Algorithm 5).
+// Given one chosen outgoing edge per part, a star joining designates a
+// constant fraction of the parts as joiners, each knowing an edge into a
+// receiver part, such that merges form stars (joiners attach directly to
+// receivers, bounding the merged diameter).
+//
+// The deterministic version is Algorithm 5: parts with super-graph
+// in-degree >= 2 become receivers and their pointers joiners; the residual
+// super-graph has in- and out-degree <= 1 (disjoint paths and cycles) and
+// is 3-colored by simulating Cole-Vishkin [4] on part leaders, after which
+// each color class becomes receivers in turn. The randomized version uses
+// leader coin flips (tails pointing at heads join), merging a constant
+// fraction in expectation — the paper's "easily accomplished with random
+// coin flips".
+//
+// All part-internal coordination goes through an Agg service (Lemma 6.3's
+// algorithm A): Algorithm 6 passes cheap intra-sub-part aggregation, while
+// Algorithm 9 and Borůvka pass full PA.
+
+// Agg is the part-wise aggregation service star joining coordinates with:
+// one call makes every node learn f over its current part's values.
+type Agg interface {
+	Aggregate(vals []congest.Val, f congest.Combine) ([]congest.Val, error)
+}
+
+// Role is a part's outcome in a star joining.
+type Role int8
+
+// Roles. RoleNone parts neither merge nor receive this round.
+const (
+	RoleNone Role = iota
+	RoleReceiver
+	RoleJoiner
+)
+
+// StarJoinResult reports, per node, its part's role. Members of joiner
+// parts already know their chosen edge (it was the input).
+type StarJoinResult struct {
+	Role []Role
+}
+
+// Message kinds for the cross-edge exchanges.
+const (
+	kindPoint int32 = iota + 60
+	kindForward
+	kindBack
+)
+
+// exchange state per node for the cross-edge protocol.
+type joinState struct {
+	in         *part.Info
+	chosenPort []int
+
+	// pointedPorts[v] = ports over which some part's chosen edge points at v.
+	pointedPorts [][]int
+	// lastBack[v] = latest (color, flags) received over the chosen port.
+	backColor []int64
+	backFlags []int64
+	havePred  []bool
+	predColor []int64 // latest pred color forwarded to v over a pointed port
+}
+
+// flag bits carried in kindBack replies.
+const (
+	flagActive   int64 = 1 << 0
+	flagReceiver int64 = 1 << 1
+)
+
+// StarJoin computes a star joining over the current partition. chosenPort[v]
+// is the port of the part's chosen outgoing edge if v is its endpoint, else
+// -1 (at most one endpoint per part; parts without a chosen edge never
+// join but may receive). det selects Algorithm 5; otherwise coin flips.
+// nonce differentiates the randomness of repeated joinings (callers pass
+// the coarsening level).
+func StarJoin(net *congest.Network, in *part.Info, chosenPort []int, agg Agg, det bool, nonce int64, maxRounds int64) (*StarJoinResult, error) {
+	n := net.N()
+	st := &joinState{
+		in:           in,
+		chosenPort:   chosenPort,
+		pointedPorts: make([][]int, n),
+		backColor:    make([]int64, n),
+		backFlags:    make([]int64, n),
+		havePred:     make([]bool, n),
+		predColor:    make([]int64, n),
+	}
+	res := &StarJoinResult{Role: make([]Role, n)}
+
+	// Stage 0: endpoints announce the chosen edges (POINT).
+	if err := st.pointRound(net, maxRounds); err != nil {
+		return nil, err
+	}
+
+	// Stage 1: in-degree count; delta >= 2 parts become receivers.
+	inDeg := make([]congest.Val, n)
+	for v := 0; v < n; v++ {
+		inDeg[v] = congest.Val{A: int64(len(st.pointedPorts[v]))}
+	}
+	degs, err := agg.Aggregate(inDeg, congest.SumPair)
+	if err != nil {
+		return nil, err
+	}
+	// A part without a chosen edge can never join, only be joined: make it
+	// a permanent receiver so parts pointing at it are not starved (the
+	// Algorithm 6 case where incomplete sub-parts point at complete ones).
+	hasEdgeVals := make([]congest.Val, n)
+	for v := 0; v < n; v++ {
+		if chosenPort[v] >= 0 {
+			hasEdgeVals[v] = congest.Val{A: 1}
+		}
+	}
+	hasEdge, err := agg.Aggregate(hasEdgeVals, congest.OrPair)
+	if err != nil {
+		return nil, err
+	}
+	receiver := make([]bool, n)
+	for v := 0; v < n; v++ {
+		receiver[v] = degs[v].A >= 2 || hasEdge[v].A == 0
+	}
+
+	if det {
+		if err := st.deterministicResidue(net, in, agg, receiver, res, maxRounds); err != nil {
+			return nil, err
+		}
+	} else {
+		if err := st.randomizedFlips(net, in, agg, receiver, res, nonce, maxRounds); err != nil {
+			return nil, err
+		}
+	}
+	return res, nil
+}
+
+// pointRound: each chosen endpoint sends POINT over its chosen port; the
+// far endpoint records the port.
+func (st *joinState) pointRound(net *congest.Network, maxRounds int64) error {
+	n := net.N()
+	procs := make([]congest.Proc, n)
+	for v := 0; v < n; v++ {
+		v := v
+		procs[v] = congest.ProcFunc(func(ctx *congest.Ctx) bool {
+			if ctx.Round() == 0 && st.chosenPort[v] >= 0 {
+				ctx.Send(st.chosenPort[v], congest.Message{Kind: kindPoint})
+			}
+			for _, m := range ctx.Recv() {
+				st.pointedPorts[v] = append(st.pointedPorts[v], m.Port)
+			}
+			return false
+		})
+	}
+	_, err := net.Run("subpart/point", procs, maxRounds)
+	return err
+}
+
+// exchangeRound: active endpoints forward (FWD, myColor, myFlags) over the
+// chosen port; every pointed node replies (BACK, partColor, partFlags) over
+// the ports that forwarded this round. After the round, each endpoint
+// holds its successor part's color/flags, and each pointed node the
+// predecessor's.
+func (st *joinState) exchangeRound(net *congest.Network, color []int64, flags []int64, sendFwd []bool, maxRounds int64) error {
+	n := net.N()
+	// Clear stale exchange results: replies arrive only for this round's
+	// forwards.
+	for v := 0; v < n; v++ {
+		st.backColor[v], st.backFlags[v] = 0, 0
+		st.havePred[v], st.predColor[v] = false, 0
+	}
+	procs := make([]congest.Proc, n)
+	for v := 0; v < n; v++ {
+		v := v
+		procs[v] = congest.ProcFunc(func(ctx *congest.Ctx) bool {
+			if ctx.Round() == 0 && st.chosenPort[v] >= 0 && sendFwd[v] {
+				ctx.Send(st.chosenPort[v], congest.Message{Kind: kindForward, A: color[v], B: flags[v]})
+			}
+			for _, m := range ctx.Recv() {
+				switch m.Msg.Kind {
+				case kindForward:
+					st.havePred[v] = true
+					st.predColor[v] = m.Msg.A
+					ctx.Send(m.Port, congest.Message{Kind: kindBack, A: color[v], B: flags[v]})
+				case kindBack:
+					st.backColor[v] = m.Msg.A
+					st.backFlags[v] = m.Msg.B
+				}
+			}
+			return false
+		})
+	}
+	_, err := net.Run("subpart/exchange", procs, maxRounds)
+	return err
+}
+
+// spreadFromEndpoint distributes a value known at the chosen endpoint to the
+// whole part via one aggregation (everyone else contributes the identity).
+func spreadFromEndpoint(agg Agg, n int, has func(v int) bool, val func(v int) congest.Val) ([]congest.Val, error) {
+	vals := make([]congest.Val, n)
+	for v := 0; v < n; v++ {
+		if has(v) {
+			vals[v] = val(v)
+		} else {
+			vals[v] = congest.Val{A: -1 << 62}
+		}
+	}
+	return agg.Aggregate(vals, congest.MaxPair)
+}
+
+// randomizedFlips implements the coin-flip star joining: every part leader
+// flips; tails parts whose successor is heads (and not already a joiner
+// target inconsistency) join; heads parts receive.
+func (st *joinState) randomizedFlips(net *congest.Network, in *part.Info, agg Agg, recvByDeg []bool,
+	res *StarJoinResult, nonce int64, maxRounds int64) error {
+	n := net.N()
+	// Leader flips ride an aggregation to all members.
+	flips := make([]congest.Val, n)
+	for v := 0; v < n; v++ {
+		if in.IsLeader[v] {
+			flips[v] = congest.Val{A: rngBit(net, v, nonce)}
+		} else {
+			flips[v] = congest.Val{A: -1}
+		}
+	}
+	got, err := agg.Aggregate(flips, congest.MaxPair)
+	if err != nil {
+		return err
+	}
+	heads := make([]bool, n)
+	for v := 0; v < n; v++ {
+		heads[v] = got[v].A == 1
+	}
+	// Heads or high-in-degree parts receive; they are announced over the
+	// chosen edges, and tails parts pointing at them join.
+	color := make([]int64, n)
+	flags := make([]int64, n)
+	sendFwd := make([]bool, n)
+	for v := 0; v < n; v++ {
+		if heads[v] || recvByDeg[v] {
+			flags[v] = flagReceiver
+		}
+		sendFwd[v] = !heads[v] && !recvByDeg[v] // only potential joiners ask
+	}
+	if err := st.exchangeRound(net, color, flags, sendFwd, maxRounds); err != nil {
+		return err
+	}
+	// Endpoint learned whether its target receives; spread part-wide.
+	joins, err := spreadFromEndpoint(agg, n, func(v int) bool { return st.chosenPort[v] >= 0 }, func(v int) congest.Val {
+		if st.backFlags[v]&flagReceiver != 0 && !heads[v] && !recvByDeg[v] {
+			return congest.Val{A: 1}
+		}
+		return congest.Val{A: 0}
+	})
+	if err != nil {
+		return err
+	}
+	for v := 0; v < n; v++ {
+		switch {
+		case joins[v].A == 1:
+			res.Role[v] = RoleJoiner
+		case heads[v] || recvByDeg[v]:
+			res.Role[v] = RoleReceiver
+		}
+	}
+	return nil
+}
+
+// rngBit draws one reproducible bit per (node, nonce) from the network's
+// seed; distinct nonces give fresh coins for repeated joinings. The full
+// splitmix64 finalizer keeps distinct leaders' bits decorrelated (a partial
+// finalizer provably is not: low product bits depend only on low input
+// bits).
+func rngBit(net *congest.Network, v int, nonce int64) int64 {
+	x := uint64(net.Seed())*0x9E3779B97F4A7C15 + uint64(net.ID(v))*0xBF58476D1CE4E5B9 + uint64(nonce)*0xD6E8FEB86659FD93
+	x ^= x >> 30
+	x *= 0xBF58476D1CE4E5B9
+	x ^= x >> 27
+	x *= 0x94D049BB133111EB
+	x ^= x >> 31
+	return int64(x & 1)
+}
+
+// deterministicResidue is Algorithm 5 proper: receivers by in-degree, their
+// pointers join; the residue (paths/cycles) is Cole-Vishkin 3-colored and
+// color classes become receivers in turn.
+func (st *joinState) deterministicResidue(net *congest.Network, in *part.Info, agg Agg, recvByDeg []bool,
+	res *StarJoinResult, maxRounds int64) error {
+	n := net.N()
+	active := make([]bool, n) // part still in the residual super-graph
+	color := make([]int64, n)
+	flags := make([]int64, n)
+	sendFwd := make([]bool, n)
+
+	// Round A: receivers-by-degree announce; pointers at them join.
+	for v := 0; v < n; v++ {
+		if recvByDeg[v] {
+			flags[v] = flagReceiver
+		}
+		sendFwd[v] = !recvByDeg[v]
+	}
+	if err := st.exchangeRound(net, color, flags, sendFwd, maxRounds); err != nil {
+		return err
+	}
+	joins, err := spreadFromEndpoint(agg, n, func(v int) bool { return st.chosenPort[v] >= 0 }, func(v int) congest.Val {
+		if st.backFlags[v]&flagReceiver != 0 && !recvByDeg[v] {
+			return congest.Val{A: 1}
+		}
+		return congest.Val{A: 0}
+	})
+	if err != nil {
+		return err
+	}
+	for v := 0; v < n; v++ {
+		switch {
+		case recvByDeg[v]:
+			res.Role[v] = RoleReceiver
+		case joins[v].A == 1:
+			res.Role[v] = RoleJoiner
+		default:
+			active[v] = true
+		}
+		color[v] = in.LeaderID[v] // initial CV colors: leader IDs
+	}
+
+	// Cole-Vishkin iterations until colors fit in {0..5}, then 6 -> 3.
+	for iter := 0; iter < 8; iter++ {
+		maxColor := int64(0)
+		for v := 0; v < n; v++ {
+			if active[v] && color[v] > maxColor {
+				maxColor = color[v]
+			}
+		}
+		if maxColor < 6 {
+			break
+		}
+		if err := st.cvStep(net, agg, active, color, maxRounds); err != nil {
+			return err
+		}
+	}
+	for c := int64(5); c >= 3; c-- {
+		if err := st.reduceColor(net, agg, active, color, c, maxRounds); err != nil {
+			return err
+		}
+	}
+	// Color classes 0,1,2 become receivers in turn; their pointers join.
+	for c := int64(0); c <= 2; c++ {
+		if err := st.colorPhase(net, agg, active, color, c, res, maxRounds); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// cvStep: one Cole-Vishkin color reduction across the residual super-graph.
+func (st *joinState) cvStep(net *congest.Network, agg Agg, active []bool, color []int64, maxRounds int64) error {
+	n := net.N()
+	flags := make([]int64, n)
+	sendFwd := make([]bool, n)
+	for v := 0; v < n; v++ {
+		if active[v] {
+			flags[v] = flagActive
+		}
+		sendFwd[v] = active[v]
+	}
+	if err := st.exchangeRound(net, color, flags, sendFwd, maxRounds); err != nil {
+		return err
+	}
+	// Endpoint now holds the successor's color (if the successor is still
+	// active); compute the new color at the endpoint and spread it.
+	newColors, err := spreadFromEndpoint(agg, n, func(v int) bool {
+		return st.chosenPort[v] >= 0
+	}, func(v int) congest.Val {
+		succ := color[v] + 1 // pseudo-successor for dangling tails
+		if st.backFlags[v]&flagActive != 0 {
+			succ = st.backColor[v]
+		}
+		return congest.Val{A: cvCombine(color[v], succ)}
+	})
+	if err != nil {
+		return err
+	}
+	for v := 0; v < n; v++ {
+		if active[v] && newColors[v].A >= 0 {
+			color[v] = newColors[v].A
+		}
+	}
+	return nil
+}
+
+// cvCombine is the Cole-Vishkin step: k = lowest bit where own and
+// successor colors differ; new color = 2k + own bit at k.
+func cvCombine(own, succ int64) int64 {
+	diff := own ^ succ
+	if diff == 0 {
+		diff = 1 // colors equal can only happen for dangling pseudo-successors
+	}
+	k := int64(0)
+	for diff&1 == 0 {
+		diff >>= 1
+		k++
+	}
+	return 2*k + ((own >> k) & 1)
+}
+
+// reduceColor removes color class c (c in {3,4,5}): parts colored c recolor
+// to the smallest of {0,1,2} used by neither neighbor.
+func (st *joinState) reduceColor(net *congest.Network, agg Agg, active []bool, color []int64, c int64, maxRounds int64) error {
+	n := net.N()
+	flags := make([]int64, n)
+	sendFwd := make([]bool, n)
+	for v := 0; v < n; v++ {
+		if active[v] {
+			flags[v] = flagActive
+		}
+		sendFwd[v] = active[v]
+	}
+	if err := st.exchangeRound(net, color, flags, sendFwd, maxRounds); err != nil {
+		return err
+	}
+	// Successor color sits at the endpoint; predecessor color sits at the
+	// pointed node. Combine both through one aggregation (disjoint fields).
+	vals := make([]congest.Val, n)
+	for v := 0; v < n; v++ {
+		val := congest.Val{A: -1 << 62, B: -1 << 62}
+		if st.chosenPort[v] >= 0 && st.backFlags[v]&flagActive != 0 {
+			val.A = st.backColor[v]
+		}
+		if st.havePred[v] {
+			val.B = st.predColor[v]
+		}
+		vals[v] = val
+	}
+	got, err := agg.Aggregate(vals, congest.MaxPair)
+	if err != nil {
+		return err
+	}
+	for v := 0; v < n; v++ {
+		if !active[v] || color[v] != c {
+			continue
+		}
+		succ, pred := got[v].A, got[v].B
+		for cand := int64(0); cand <= 2; cand++ {
+			if cand != succ && cand != pred {
+				color[v] = cand
+				break
+			}
+		}
+	}
+	return nil
+}
+
+// colorPhase makes color class c receivers and their active pointers
+// joiners, removing both from the residue.
+func (st *joinState) colorPhase(net *congest.Network, agg Agg, active []bool, color []int64, c int64,
+	res *StarJoinResult, maxRounds int64) error {
+	n := net.N()
+	flags := make([]int64, n)
+	sendFwd := make([]bool, n)
+	for v := 0; v < n; v++ {
+		if active[v] && color[v] == c {
+			flags[v] = flagReceiver
+		}
+		sendFwd[v] = active[v] && color[v] != c
+	}
+	if err := st.exchangeRound(net, color, flags, sendFwd, maxRounds); err != nil {
+		return err
+	}
+	joins, err := spreadFromEndpoint(agg, n, func(v int) bool { return st.chosenPort[v] >= 0 }, func(v int) congest.Val {
+		if active[v] && color[v] != c && st.backFlags[v]&flagReceiver != 0 {
+			return congest.Val{A: 1}
+		}
+		return congest.Val{A: 0}
+	})
+	if err != nil {
+		return err
+	}
+	for v := 0; v < n; v++ {
+		if !active[v] {
+			continue
+		}
+		switch {
+		case color[v] == c:
+			res.Role[v] = RoleReceiver
+			active[v] = false
+		case joins[v].A == 1:
+			res.Role[v] = RoleJoiner
+			active[v] = false
+		}
+	}
+	return nil
+}
+
+// OracleAgg is an engine-side instant aggregation service for unit tests of
+// star joinings (it performs the partition-wide reduce without messaging).
+// Production callers use PA (core.Engine's aggregator).
+type OracleAgg struct {
+	Dense []int
+}
+
+// Aggregate implements Agg.
+func (o *OracleAgg) Aggregate(vals []congest.Val, f congest.Combine) ([]congest.Val, error) {
+	if len(vals) != len(o.Dense) {
+		return nil, fmt.Errorf("subpart: oracle agg size mismatch")
+	}
+	acc := make(map[int]congest.Val)
+	for v, p := range o.Dense {
+		if have, ok := acc[p]; ok {
+			acc[p] = f(have, vals[v])
+		} else {
+			acc[p] = vals[v]
+		}
+	}
+	out := make([]congest.Val, len(vals))
+	for v, p := range o.Dense {
+		out[v] = acc[p]
+	}
+	return out, nil
+}

@@ -1,0 +1,272 @@
+// Package tree implements the rooted-spanning-tree substrate the paper
+// assumes (Section 2.2): leader election, BFS-tree construction, broadcast
+// and convergecast along the tree, subtree sizes, and the heavy-path
+// decomposition of Sleator–Tarjan [39] used by the deterministic shortcut
+// construction (Section 6.3).
+//
+// All of these run on the congest simulator as true message-passing
+// protocols; the structs returned hold only information that individual
+// nodes learned locally (each slice entry is the knowledge of that node).
+package tree
+
+import (
+	"fmt"
+
+	"shortcutpa/internal/congest"
+)
+
+// Message kinds used by this package's protocols.
+const (
+	kindElect int32 = iota + 1
+	kindJoin
+	kindChild
+	kindUp
+	kindDown
+)
+
+// BFSTree is the rooted breadth-first spanning tree. Entry v of each slice
+// is knowledge held by node v.
+type BFSTree struct {
+	Root       int
+	ParentPort []int   // port toward parent; -1 at the root
+	ParentNode []int   // parent's node index; -1 at the root (engine-side convenience)
+	Depth      []int   // hop distance from the root
+	ChildPorts [][]int // ports toward children
+	Height     int     // max depth; an upper bound D on distances from root
+}
+
+// IsChildPort reports whether port p of node v leads to one of v's children.
+func (t *BFSTree) IsChildPort(v, p int) bool {
+	for _, cp := range t.ChildPorts[v] {
+		if cp == p {
+			return true
+		}
+	}
+	return false
+}
+
+// ElectLeader floods the minimum node ID through the network and returns the
+// node holding it. O(D) rounds. With the hashed (random-order) IDs the
+// simulator assigns, expected messages are O(m log n) — the paper's
+// substrate [27] achieves Õ(m) worst-case; see DESIGN.md (substitutions).
+func ElectLeader(net *congest.Network, maxRounds int64) (int, error) {
+	n := net.N()
+	minID := make([]int64, n)
+	procs := make([]congest.Proc, n)
+	for v := 0; v < n; v++ {
+		v := v
+		minID[v] = net.ID(v)
+		procs[v] = congest.ProcFunc(func(ctx *congest.Ctx) bool {
+			improved := ctx.Round() == 0
+			for _, in := range ctx.Recv() {
+				if in.Msg.A < minID[v] {
+					minID[v] = in.Msg.A
+					improved = true
+				}
+			}
+			if improved {
+				ctx.Broadcast(congest.Message{Kind: kindElect, A: minID[v]})
+			}
+			return false
+		})
+	}
+	if _, err := net.Run("tree/elect", procs, maxRounds); err != nil {
+		return -1, err
+	}
+	leader := net.NodeByID(minID[0])
+	if leader < 0 {
+		return -1, fmt.Errorf("tree: election converged to unknown ID %d", minID[0])
+	}
+	for v := 0; v < n; v++ {
+		if minID[v] != minID[0] {
+			return -1, fmt.Errorf("tree: node %d disagrees on leader (disconnected graph?)", v)
+		}
+	}
+	return leader, nil
+}
+
+// bfsProc is one node's state in the BFS-tree construction: adopt the first
+// JOIN heard (lowest port on ties), announce CHILD to the parent, forward
+// JOIN everywhere else.
+type bfsProc struct {
+	t      *BFSTree
+	v      int
+	root   bool
+	joined bool
+}
+
+func (b *bfsProc) Step(ctx *congest.Ctx) bool {
+	if ctx.Round() == 0 && b.root {
+		b.joined = true
+		b.t.Depth[b.v] = 0
+		ctx.Broadcast(congest.Message{Kind: kindJoin, A: 0})
+		return false
+	}
+	for _, in := range ctx.Recv() {
+		switch in.Msg.Kind {
+		case kindJoin:
+			if b.joined {
+				continue
+			}
+			b.joined = true
+			b.t.ParentPort[b.v] = in.Port
+			b.t.Depth[b.v] = int(in.Msg.A) + 1
+			for p := 0; p < ctx.Degree(); p++ {
+				if p == in.Port {
+					ctx.Send(p, congest.Message{Kind: kindChild})
+				} else {
+					ctx.Send(p, congest.Message{Kind: kindJoin, A: int64(b.t.Depth[b.v])})
+				}
+			}
+		case kindChild:
+			b.t.ChildPorts[b.v] = append(b.t.ChildPorts[b.v], in.Port)
+		}
+	}
+	return false
+}
+
+// BuildBFS constructs the BFS tree rooted at root. O(D) rounds, O(m)
+// messages (each node broadcasts once).
+func BuildBFS(net *congest.Network, root int, maxRounds int64) (*BFSTree, error) {
+	n := net.N()
+	t := &BFSTree{
+		Root:       root,
+		ParentPort: make([]int, n),
+		ParentNode: make([]int, n),
+		Depth:      make([]int, n),
+		ChildPorts: make([][]int, n),
+	}
+	procs := make([]congest.Proc, n)
+	for v := 0; v < n; v++ {
+		t.ParentPort[v] = -1
+		t.ParentNode[v] = -1
+		procs[v] = &bfsProc{t: t, v: v, root: v == root}
+	}
+	if _, err := net.Run("tree/bfs", procs, maxRounds); err != nil {
+		return nil, err
+	}
+	g := net.Graph()
+	for v := 0; v < n; v++ {
+		if v != root {
+			if t.ParentPort[v] < 0 {
+				return nil, fmt.Errorf("tree: node %d not reached by BFS (disconnected graph?)", v)
+			}
+			t.ParentNode[v] = g.Neighbor(v, t.ParentPort[v])
+		}
+		if t.Depth[v] > t.Height {
+			t.Height = t.Depth[v]
+		}
+	}
+	return t, nil
+}
+
+// convergeProc aggregates values up the tree: a node sends to its parent
+// once all children have reported, combining with f. onChild, if non-nil,
+// observes each (child port, child subtree value) pair at the parent.
+type convergeProc struct {
+	t       *BFSTree
+	v       int
+	f       congest.Combine
+	acc     congest.Val
+	waiting int
+	onChild func(v, port int, val congest.Val)
+	subtree []congest.Val
+}
+
+func (c *convergeProc) Step(ctx *congest.Ctx) bool {
+	for _, in := range ctx.Recv() {
+		if in.Msg.Kind != kindUp {
+			continue
+		}
+		val := congest.Val{A: in.Msg.A, B: in.Msg.B}
+		if c.onChild != nil {
+			c.onChild(c.v, in.Port, val)
+		}
+		c.acc = c.f(c.acc, val)
+		c.waiting--
+	}
+	if c.waiting == 0 {
+		c.waiting = -1 // fire once
+		c.subtree[c.v] = c.acc
+		if c.t.ParentPort[c.v] >= 0 {
+			ctx.Send(c.t.ParentPort[c.v], congest.Message{Kind: kindUp, A: c.acc.A, B: c.acc.B})
+		}
+	}
+	return false
+}
+
+// Convergecast aggregates vals up t with f. It returns per-node subtree
+// aggregates (entry v = f over v's subtree); the root's entry is the global
+// aggregate. O(height) rounds, n-1 messages. onChild, if non-nil, is invoked
+// at each parent for every (child port, child subtree aggregate) — local
+// knowledge a parent naturally obtains.
+func Convergecast(net *congest.Network, t *BFSTree, vals []congest.Val, f congest.Combine,
+	onChild func(v, port int, val congest.Val), maxRounds int64) ([]congest.Val, error) {
+	n := net.N()
+	subtree := make([]congest.Val, n)
+	procs := make([]congest.Proc, n)
+	for v := 0; v < n; v++ {
+		procs[v] = &convergeProc{
+			t: t, v: v, f: f, acc: vals[v],
+			waiting: len(t.ChildPorts[v]),
+			onChild: onChild, subtree: subtree,
+		}
+	}
+	if _, err := net.Run("tree/convergecast", procs, maxRounds); err != nil {
+		return nil, err
+	}
+	return subtree, nil
+}
+
+// Broadcast sends val from the root down t; returns per-node received
+// values (all equal to val). O(height) rounds, n-1 messages.
+func Broadcast(net *congest.Network, t *BFSTree, val congest.Val, maxRounds int64) ([]congest.Val, error) {
+	n := net.N()
+	got := make([]congest.Val, n)
+	procs := make([]congest.Proc, n)
+	for v := 0; v < n; v++ {
+		v := v
+		procs[v] = congest.ProcFunc(func(ctx *congest.Ctx) bool {
+			if ctx.Round() == 0 && v == t.Root {
+				got[v] = val
+				for _, p := range t.ChildPorts[v] {
+					ctx.Send(p, congest.Message{Kind: kindDown, A: val.A, B: val.B})
+				}
+			}
+			for _, in := range ctx.Recv() {
+				got[v] = congest.Val{A: in.Msg.A, B: in.Msg.B}
+				for _, p := range t.ChildPorts[v] {
+					ctx.Send(p, in.Msg)
+				}
+			}
+			return false
+		})
+	}
+	if _, err := net.Run("tree/broadcast", procs, maxRounds); err != nil {
+		return nil, err
+	}
+	return got, nil
+}
+
+// SubtreeSizes returns, per node, the size of its subtree in t, and invokes
+// onChild per (parent, child port, child subtree size) if non-nil.
+func SubtreeSizes(net *congest.Network, t *BFSTree, onChild func(v, port int, size int64), maxRounds int64) ([]int64, error) {
+	n := net.N()
+	vals := make([]congest.Val, n)
+	for v := range vals {
+		vals[v] = congest.Val{A: 1}
+	}
+	var hook func(v, port int, val congest.Val)
+	if onChild != nil {
+		hook = func(v, port int, val congest.Val) { onChild(v, port, val.A) }
+	}
+	sub, err := Convergecast(net, t, vals, congest.SumPair, hook, maxRounds)
+	if err != nil {
+		return nil, err
+	}
+	sizes := make([]int64, n)
+	for v := range sub {
+		sizes[v] = sub[v].A
+	}
+	return sizes, nil
+}

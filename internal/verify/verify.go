@@ -1,0 +1,231 @@
+// Package verify implements Corollary A.1: the graph verification problems
+// of Das Sarma et al. [5] in Õ(D+√n) rounds and Õ(m) messages, built on
+// Thurimella-style connected-component labeling [41] cast as Part-Wise
+// Aggregation — each component of the query subgraph H elects a leader
+// (Algorithm 9's coarsening) and the leader's ID becomes every member's
+// label.
+//
+// Verifiers provided: connectivity, spanning tree (connected + exactly n-1
+// edges), s-t connectivity, cut verification (does deleting the edge set
+// disconnect G), and bipartiteness of H. Global counts and verdicts travel
+// on the engine's BFS tree (convergecast + broadcast), costing O(D) rounds
+// and O(n) messages per decision.
+//
+// Bipartiteness levels: the paper (footnote 4) obtains per-component rooted
+// spanning trees with levels from the PA machinery itself; here levels come
+// from an explicit parity flood along H inside each component, which costs
+// O(component diameter) extra rounds — a documented simplification
+// (DESIGN.md, substitutions).
+package verify
+
+import (
+	"fmt"
+
+	"shortcutpa/internal/congest"
+	"shortcutpa/internal/core"
+	"shortcutpa/internal/part"
+	"shortcutpa/internal/tree"
+)
+
+// Subgraph is a query subgraph H given as node-local knowledge: for each
+// node, which incident ports' edges belong to H.
+type Subgraph struct {
+	InH [][]bool
+}
+
+// SubgraphFromEdges builds the node-local view from a global edge subset
+// (engine-side instance construction).
+func SubgraphFromEdges(e *core.Engine, keep []bool) *Subgraph {
+	g := e.Net.Graph()
+	n := g.N()
+	s := &Subgraph{InH: make([][]bool, n)}
+	for v := 0; v < n; v++ {
+		s.InH[v] = make([]bool, g.Degree(v))
+		for q := 0; q < g.Degree(v); q++ {
+			s.InH[v][q] = keep[g.EdgeIndex(v, q)]
+		}
+	}
+	return s
+}
+
+// Labeling is the outcome of component labeling: Label[v] identifies v's
+// H-component (labels are leader IDs, unique per component), and Info is
+// the underlying partition with installed leaders, reusable for further
+// PA calls over the components.
+type Labeling struct {
+	Label []int64
+	Info  *part.Info
+}
+
+// ComponentLabels labels the connected components of H (Thurimella's
+// algorithm as a PA instance).
+func ComponentLabels(e *core.Engine, h *Subgraph) (*Labeling, error) {
+	n := e.N
+	g := e.Net.Graph()
+	in := &part.Info{
+		SamePart: make([][]bool, n),
+		LeaderID: make([]int64, n),
+		IsLeader: make([]bool, n),
+		Dense:    make([]int, n),
+	}
+	for v := 0; v < n; v++ {
+		in.LeaderID[v] = -1
+		in.SamePart[v] = append([]bool(nil), h.InH[v]...)
+	}
+	// Engine-side dense labels for diagnostics/oracles.
+	keep := make([]bool, g.M())
+	for v := 0; v < n; v++ {
+		for q := 0; q < g.Degree(v); q++ {
+			if h.InH[v][q] {
+				keep[g.EdgeIndex(v, q)] = true
+			}
+		}
+	}
+	dense, _ := g.SubgraphComponents(keep)
+	copy(in.Dense, dense)
+
+	if err := e.CoarsenToLeaders(in); err != nil {
+		return nil, fmt.Errorf("verify: labeling: %w", err)
+	}
+	return &Labeling{Label: in.LeaderID, Info: in}, nil
+}
+
+// globalAgg aggregates one value per node over the engine's BFS tree and
+// broadcasts the result (O(D) rounds, O(n) messages); every node learns it.
+func globalAgg(e *core.Engine, vals []congest.Val, f congest.Combine) (congest.Val, error) {
+	budget := int64(16*e.N + 4096)
+	sub, err := tree.Convergecast(e.Net, e.Tree, vals, f, nil, budget)
+	if err != nil {
+		return congest.Val{}, err
+	}
+	if _, err := tree.Broadcast(e.Net, e.Tree, sub[e.Tree.Root], budget); err != nil {
+		return congest.Val{}, err
+	}
+	return sub[e.Tree.Root], nil
+}
+
+// Connected reports whether H spans a single component covering all nodes:
+// the global (min label, max label) agree.
+func Connected(e *core.Engine, lab *Labeling) (bool, error) {
+	vals := make([]congest.Val, e.N)
+	for v := 0; v < e.N; v++ {
+		vals[v] = congest.Val{A: lab.Label[v], B: -lab.Label[v]}
+	}
+	got, err := globalAgg(e, vals, func(x, y congest.Val) congest.Val {
+		return congest.Val{A: min(x.A, y.A), B: min(x.B, y.B)}
+	})
+	if err != nil {
+		return false, err
+	}
+	return got.A == -got.B, nil
+}
+
+// SpanningTree verifies that H is a spanning tree of G: connected and
+// exactly n-1 edges (edge count by halved incident-degree sum).
+func SpanningTree(e *core.Engine, h *Subgraph, lab *Labeling) (bool, error) {
+	conn, err := Connected(e, lab)
+	if err != nil {
+		return false, err
+	}
+	vals := make([]congest.Val, e.N)
+	for v := 0; v < e.N; v++ {
+		deg := int64(0)
+		for _, in := range h.InH[v] {
+			if in {
+				deg++
+			}
+		}
+		vals[v] = congest.Val{A: deg}
+	}
+	got, err := globalAgg(e, vals, congest.SumPair)
+	if err != nil {
+		return false, err
+	}
+	return conn && got.A == 2*int64(e.N-1), nil
+}
+
+// STConnected reports whether s and t lie in the same H-component.
+func STConnected(lab *Labeling, s, t int) bool {
+	return lab.Label[s] == lab.Label[t]
+}
+
+// CutDisconnects reports whether deleting the edge set C (given node-locally
+// like a Subgraph) disconnects G: label the components of G-C and test for
+// more than one.
+func CutDisconnects(e *core.Engine, cut *Subgraph) (bool, error) {
+	g := e.Net.Graph()
+	n := e.N
+	rest := &Subgraph{InH: make([][]bool, n)}
+	for v := 0; v < n; v++ {
+		rest.InH[v] = make([]bool, g.Degree(v))
+		for q := 0; q < g.Degree(v); q++ {
+			rest.InH[v][q] = !cut.InH[v][q]
+		}
+	}
+	lab, err := ComponentLabels(e, rest)
+	if err != nil {
+		return false, err
+	}
+	conn, err := Connected(e, lab)
+	if err != nil {
+		return false, err
+	}
+	return !conn, nil
+}
+
+const (
+	kindParity int32 = iota + 130
+	kindOddWave
+)
+
+// Bipartite reports whether the subgraph H is bipartite: parity levels
+// flood from each component leader along H; any H-edge joining equal
+// parities flags an odd cycle, and the flags are OR-aggregated globally.
+func Bipartite(e *core.Engine, h *Subgraph, lab *Labeling) (bool, error) {
+	n := e.N
+	parity := make([]int64, n)
+	conflict := make([]bool, n)
+	for v := range parity {
+		parity[v] = -1
+	}
+	procs := make([]congest.Proc, n)
+	for v := 0; v < n; v++ {
+		v := v
+		procs[v] = congest.ProcFunc(func(ctx *congest.Ctx) bool {
+			adopt := func(p int64) {
+				parity[v] = p
+				for q := 0; q < ctx.Degree(); q++ {
+					if h.InH[v][q] && ctx.CanSend(q) {
+						ctx.Send(q, congest.Message{Kind: kindParity, A: 1 - p})
+					}
+				}
+			}
+			if ctx.Round() == 0 && lab.Info.IsLeader[v] {
+				adopt(0)
+			}
+			for _, m := range ctx.Recv() {
+				want := m.Msg.A
+				if parity[v] < 0 {
+					adopt(want)
+				} else if parity[v] != want {
+					conflict[v] = true
+				}
+			}
+			return false
+		})
+	}
+	if _, err := e.Net.Run("verify/parity", procs, int64(16*n+4096)); err != nil {
+		return false, err
+	}
+	vals := make([]congest.Val, n)
+	for v := 0; v < n; v++ {
+		if conflict[v] {
+			vals[v] = congest.Val{A: 1}
+		}
+	}
+	got, err := globalAgg(e, vals, congest.OrPair)
+	if err != nil {
+		return false, err
+	}
+	return got.A == 0, nil
+}
