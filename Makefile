@@ -1,0 +1,31 @@
+# Developer entry points. CI (.github/workflows/ci.yml) runs the same
+# targets: `make check` on every push/PR, `make test-full` nightly.
+
+GO ?= go
+
+.PHONY: build vet test test-race test-full bench check
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+# Fast suite: every package, seconds of wall clock.
+test:
+	$(GO) test -short ./...
+
+# Fast suite under the race detector — the standing check on the parallel
+# CONGEST engine (internal/congest/parallel.go).
+test-race:
+	$(GO) test -race -short ./...
+
+# Full suite, including the multi-second experiment sweeps.
+test-full:
+	$(GO) test ./...
+
+# Engine benchmarks: sequential vs parallel on an n=10k graph.
+bench:
+	$(GO) test -run='^$$' -bench=BenchmarkEngine -benchmem ./internal/congest/
+
+check: build vet test-race

@@ -29,13 +29,15 @@ func main() {
 func run(args []string) error {
 	fs := flag.NewFlagSet("pabench", flag.ContinueOnError)
 	var (
-		list = fs.Bool("list", false, "list experiment IDs and exit")
-		exp  = fs.String("exp", "", "comma-separated experiment IDs (default: all)")
-		seed = fs.Int64("seed", 12345, "master seed")
+		list    = fs.Bool("list", false, "list experiment IDs and exit")
+		exp     = fs.String("exp", "", "comma-separated experiment IDs (default: all)")
+		seed    = fs.Int64("seed", 12345, "master seed")
+		workers = fs.Int("workers", 1, "simulation engine workers (results are identical at any setting)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	bench.SetWorkers(*workers)
 	all := bench.Experiments()
 	ids := make([]string, 0, len(all))
 	for id := range all {

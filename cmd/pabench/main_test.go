@@ -1,0 +1,32 @@
+package main
+
+import "testing"
+
+func TestListFlag(t *testing.T) {
+	if err := run([]string{"-list"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestUnknownExperimentFails(t *testing.T) {
+	if err := run([]string{"-exp", "NOPE"}); err == nil {
+		t.Fatal("unknown experiment ID did not error")
+	}
+}
+
+func TestBadFlagFails(t *testing.T) {
+	if err := run([]string{"-no-such-flag"}); err == nil {
+		t.Fatal("bad flag did not error")
+	}
+}
+
+// TestOneExperimentParallel runs the cheapest real experiment end-to-end
+// through the CLI path with the parallel engine enabled.
+func TestOneExperimentParallel(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs a full experiment")
+	}
+	if err := run([]string{"-exp", "A3", "-seed", "7", "-workers", "4"}); err != nil {
+		t.Fatal(err)
+	}
+}

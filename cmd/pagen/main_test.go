@@ -1,0 +1,24 @@
+package main
+
+import "testing"
+
+func TestGenerateEveryFamily(t *testing.T) {
+	families := []string{"grid", "gridstar", "random", "path", "cycle", "torus", "ladder", "ktree", "cbt", "lollipop"}
+	for _, f := range families {
+		if err := run([]string{"-family", f, "-scale", "1", "-seed", "3"}); err != nil {
+			t.Errorf("family %s: %v", f, err)
+		}
+	}
+}
+
+func TestEdgesFlag(t *testing.T) {
+	if err := run([]string{"-family", "path", "-scale", "1", "-edges"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestUnknownFamilyFails(t *testing.T) {
+	if err := run([]string{"-family", "mobius"}); err == nil {
+		t.Fatal("unknown family did not error")
+	}
+}

@@ -33,6 +33,7 @@ func run(args []string) error {
 		seed     = fs.Int64("seed", 1, "seed")
 		mode     = fs.String("mode", "rand", "rand|det")
 		baseline = fs.Bool("baseline", false, "disable shortcuts (prior-work baseline)")
+		workers  = fs.Int("workers", 1, "simulation engine workers (results are identical at any setting)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -61,6 +62,7 @@ func run(args []string) error {
 		m = core.Deterministic
 	}
 	net := congest.NewNetwork(g, *seed)
+	net.SetWorkers(*workers)
 	e, err := core.NewEngine(net, m)
 	if err != nil {
 		return err

@@ -1,0 +1,24 @@
+package main
+
+import "testing"
+
+func TestMSTOnSmallGrid(t *testing.T) {
+	if err := run([]string{"-family", "grid", "-scale", "1", "-seed", "7"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMSTDeterministicParallel(t *testing.T) {
+	if testing.Short() {
+		t.Skip("deterministic construction on a full instance")
+	}
+	if err := run([]string{"-family", "path", "-scale", "1", "-mode", "det", "-workers", "4"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestUnknownFamilyFails(t *testing.T) {
+	if err := run([]string{"-family", "hypercube"}); err == nil {
+		t.Fatal("unknown family did not error")
+	}
+}

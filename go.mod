@@ -1,0 +1,3 @@
+module shortcutpa
+
+go 1.24

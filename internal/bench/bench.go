@@ -16,6 +16,22 @@ import (
 	"shortcutpa/internal/part"
 )
 
+// workers is the engine parallelism every experiment network uses
+// (0 = sequential). Results are bit-identical at any setting (see
+// internal/congest/README.md); it only changes wall-clock time.
+var workers int
+
+// SetWorkers configures the engine parallelism for all subsequently built
+// experiment networks (cmd/pabench's -workers flag lands here).
+func SetWorkers(k int) { workers = k }
+
+// newNetwork builds an experiment network with the configured parallelism.
+func newNetwork(g *graph.Graph, seed int64) *congest.Network {
+	net := congest.NewNetwork(g, seed)
+	net.SetWorkers(workers)
+	return net
+}
+
 // Table is one experiment's output: a title, column headers, and rows.
 type Table struct {
 	ID      string
@@ -159,7 +175,7 @@ func deepApexInstance(g *graph.Graph, segLen int) (*graph.Graph, []int) {
 
 // setupInstance wires a network + engine + partition with leaders.
 func setupInstance(g *graph.Graph, parts []int, seed int64, mode core.Mode) (*core.Engine, *part.Info, error) {
-	net := congest.NewNetwork(g, seed)
+	net := newNetwork(g, seed)
 	e, err := core.NewEngine(net, mode)
 	if err != nil {
 		return nil, nil, err

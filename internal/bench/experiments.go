@@ -142,7 +142,7 @@ func Figure2(seed int64) (*Table, error) {
 		parts := graph.GridStarRowParts(rows, cols)
 		var push, ours int64
 		for _, blockPush := range []bool{true, false} {
-			net := congest.NewNetwork(g, seed+int64(rows))
+			net := newNetwork(g, seed+int64(rows))
 			e, err := core.NewEngineAt(net, core.Randomized, g.N()-1)
 			if err != nil {
 				return nil, err
@@ -217,7 +217,7 @@ func MSTExperiment(seed int64) (*Table, error) {
 		)
 		correct := true
 		for _, baseline := range []bool{false, true} {
-			net := congest.NewNetwork(inst.g, seed+3)
+			net := newNetwork(inst.g, seed+3)
 			e, err := core.NewEngine(net, core.Randomized)
 			if err != nil {
 				return nil, err
@@ -267,7 +267,7 @@ func MinCutExperiment(seed int64) (*Table, error) {
 		{"grid 5x6", graph.RandomizeWeights(graph.Grid(5, 6), 12, rng), 8},
 	}
 	for _, inst := range instances {
-		net := congest.NewNetwork(inst.g, seed+5)
+		net := newNetwork(inst.g, seed+5)
 		e, err := core.NewEngine(net, core.Randomized)
 		if err != nil {
 			return nil, err
@@ -315,7 +315,7 @@ func SSSPExperiment(seed int64) (*Table, error) {
 	rng := rand.New(rand.NewSource(seed))
 	g := graph.RandomizeWeights(graph.Path(220), 40, rng)
 	exact := g.Dijkstra(0)
-	netBF := congest.NewNetwork(g, seed+9)
+	netBF := newNetwork(g, seed+9)
 	eBF, err := core.NewEngine(netBF, core.Randomized)
 	if err != nil {
 		return nil, err
@@ -326,7 +326,7 @@ func SSSPExperiment(seed int64) (*Table, error) {
 	}
 	bfRounds := eBF.Net.Total().Rounds
 	for _, beta := range []float64{0, 0.25, 0.5, 1.0} {
-		net := congest.NewNetwork(g, seed+9)
+		net := newNetwork(g, seed+9)
 		e, err := core.NewEngine(net, core.Randomized)
 		if err != nil {
 			return nil, err
@@ -366,7 +366,7 @@ func VerifyExperiment(seed int64) (*Table, error) {
 		keep[i] = true
 	}
 	run := func(name string, f func(e *core.Engine) (bool, error)) error {
-		net := congest.NewNetwork(g, seed+13)
+		net := newNetwork(g, seed+13)
 		e, err := core.NewEngine(net, core.Randomized)
 		if err != nil {
 			return err
@@ -432,7 +432,7 @@ func DomSetExperiment(seed int64) (*Table, error) {
 	}
 	g := graph.Path(600)
 	for _, k := range []int64{16, 32, 64, 128} {
-		net := congest.NewNetwork(g, seed+k)
+		net := newNetwork(g, seed+k)
 		e, err := core.NewEngine(net, core.Randomized)
 		if err != nil {
 			return nil, err

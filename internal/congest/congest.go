@@ -10,7 +10,13 @@
 //
 // The engine is deterministic: nodes draw randomness from per-node PRNGs
 // seeded from a master seed, and nodes are stepped in index order (node
-// state is strictly local, so order cannot affect outcomes).
+// state is strictly local, so order cannot affect outcomes). Because step
+// order cannot affect outcomes, rounds may also be executed by a worker
+// pool (SetWorkers / RunParallel): each worker steps a disjoint shard of
+// nodes into a private per-sender outbox, and outboxes are merged into
+// inboxes in sender-index order, reproducing the sequential delivery order
+// exactly. Parallel runs are bit-identical to sequential runs — same
+// results, same Rounds/Messages, same per-node PRNG streams. See README.md.
 //
 // Cost accounting follows the paper's measures: Rounds is the number of
 // synchronous rounds executed until global quiescence (or the budget), and
@@ -82,14 +88,15 @@ type link struct {
 // Network binds a graph to the simulator: node IDs, per-node PRNGs, and
 // accumulated cost accounting across protocol phases.
 type Network struct {
-	g      *graph.Graph
-	seed   int64
-	ids    []int64
-	byID   map[int64]int
-	rngs   []*rand.Rand
-	links  [][]link
-	total  Metrics
-	phases []Phase
+	g       *graph.Graph
+	seed    int64
+	ids     []int64
+	byID    map[int64]int
+	rngs    []*rand.Rand
+	links   [][]link
+	total   Metrics
+	phases  []Phase
+	workers int
 }
 
 // NewNetwork wraps g for simulation. The seed determines node IDs and all
@@ -144,6 +151,15 @@ func (n *Network) NodeByID(id int64) int {
 // Seed returns the master seed.
 func (n *Network) Seed() int64 { return n.seed }
 
+// Workers returns the configured engine parallelism (0 or 1 = sequential).
+func (n *Network) Workers() int { return n.workers }
+
+// SetWorkers configures how many workers Run uses for every subsequent
+// phase: k <= 1 selects the sequential engine, k > 1 shards each round
+// across k goroutines. The choice affects wall-clock time only — results,
+// metrics, and per-node PRNG streams are bit-identical either way.
+func (n *Network) SetWorkers(k int) { n.workers = k }
+
 // Total returns the cost accumulated over all phases run so far.
 func (n *Network) Total() Metrics { return n.total }
 
@@ -186,10 +202,20 @@ func (e *BudgetExceededError) Error() string {
 // fails with BudgetExceededError after maxRounds. The phase cost is recorded
 // under name and added to the network totals.
 func (n *Network) Run(name string, procs []Proc, maxRounds int64) (Metrics, error) {
+	return n.RunParallel(name, procs, maxRounds, n.workers)
+}
+
+// RunParallel is Run with an explicit worker count for this phase,
+// overriding the network-level SetWorkers setting. workers <= 1 runs the
+// sequential engine; workers > 1 shards each round across that many
+// goroutines with a deterministic merge, so results are bit-identical to
+// the sequential engine.
+func (n *Network) RunParallel(name string, procs []Proc, maxRounds int64, workers int) (Metrics, error) {
 	if len(procs) != n.N() {
 		return Metrics{}, fmt.Errorf("congest: phase %q has %d procs for %d nodes", name, len(procs), n.N())
 	}
-	st := newRunState(n, procs)
+	st := newRunState(n, procs, workers)
+	defer st.close()
 	var cost Metrics
 	for !st.quiescent() {
 		if cost.Rounds >= maxRounds {
@@ -221,10 +247,19 @@ type runState struct {
 	portOff       []int   // node -> offset into lastSend
 	inFlight      int64
 	sentThisRound int64
+	workers       int        // goroutines stepping nodes; <= 1 means sequential
+	outbox        [][]routed // per-sender private outboxes; nil when sequential
+	pool          *pool      // persistent worker pool; nil until first parallel step
 }
 
-func newRunState(n *Network, procs []Proc) *runState {
+func newRunState(n *Network, procs []Proc, workers int) *runState {
 	nn := n.N()
+	if workers > nn {
+		workers = nn
+	}
+	if workers < 1 {
+		workers = 1
+	}
 	st := &runState{
 		net:     n,
 		procs:   procs,
@@ -232,6 +267,10 @@ func newRunState(n *Network, procs []Proc) *runState {
 		nextbox: make([][]Incoming, nn),
 		active:  make([]bool, nn),
 		portOff: make([]int, nn+1),
+		workers: workers,
+	}
+	if workers > 1 {
+		st.outbox = make([][]routed, nn)
 	}
 	off := 0
 	for v := 0; v < nn; v++ {
@@ -263,6 +302,9 @@ func (st *runState) quiescent() bool {
 
 // step runs one synchronous round and returns the number of messages sent.
 func (st *runState) step() int64 {
+	if st.workers > 1 {
+		return st.stepParallel()
+	}
 	st.started = true
 	n := st.net.N()
 	var sent int64

@@ -45,6 +45,12 @@ func (c *Ctx) Send(p int, m Message) {
 		panic(fmt.Sprintf("congest: node %d sent twice on port %d in round %d", c.v, p, c.st.round))
 	}
 	c.st.lastSend[slot] = c.st.round
+	if c.st.outbox != nil {
+		// Parallel engine: buffer in the sender's private outbox; the
+		// end-of-round merge delivers in sender-index order.
+		c.st.outbox[c.v] = append(c.st.outbox[c.v], routed{to: lk.to, inc: Incoming{Port: lk.revPort, Msg: m}})
+		return
+	}
 	c.st.nextbox[lk.to] = append(c.st.nextbox[lk.to], Incoming{Port: lk.revPort, Msg: m})
 	c.st.sentThisRound++
 }

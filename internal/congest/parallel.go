@@ -1,0 +1,123 @@
+package congest
+
+// The parallel engine executes the same round structure as the sequential
+// one, but shards node stepping across a persistent worker pool.
+// Determinism is preserved by construction:
+//
+//   - each node is stepped by exactly one worker, so per-node state,
+//     per-node PRNG streams, and per-(node,port) send bookkeeping are
+//     touched by a single goroutine;
+//   - sends are buffered in the sender's private outbox instead of being
+//     appended to the receiver's inbox directly;
+//   - after all workers reach the end-of-round barrier, outboxes are merged
+//     into inboxes in sender-index order (and, within one sender, in send
+//     order), which is exactly the delivery order the sequential engine's
+//     index-order loop produces.
+//
+// The result is bit-identical to the sequential engine: same outputs, same
+// Rounds/Messages, same PRNG streams.
+
+// routed is a sent message annotated with its destination, buffered in the
+// sender's private outbox until the end-of-round merge.
+type routed struct {
+	to  int
+	inc Incoming
+}
+
+// pool is a phase-lifetime worker pool: workers park between rounds on
+// their start channel rather than being respawned every round (phases run
+// for thousands of rounds). The start/done channel handoffs also establish
+// the happens-before edges between worker stepping and the coordinator's
+// merge.
+type pool struct {
+	start []chan struct{}
+	done  chan any // one recovered panic (or nil) per worker per round
+}
+
+func (st *runState) ensurePool() {
+	if st.pool != nil {
+		return
+	}
+	p := &pool{done: make(chan any, st.workers)}
+	for i := 0; i < st.workers; i++ {
+		ch := make(chan struct{}, 1)
+		p.start = append(p.start, ch)
+		go func(i int) {
+			for range ch {
+				p.done <- st.stepShard(i)
+			}
+		}(i)
+	}
+	st.pool = p
+}
+
+// close releases the pool's workers; runs are resumable afterwards only via
+// a new runState.
+func (st *runState) close() {
+	if st.pool == nil {
+		return
+	}
+	for _, ch := range st.pool.start {
+		close(ch)
+	}
+	st.pool = nil
+}
+
+// stepShard steps worker i's nodes and returns the recovered panic value,
+// if any. The shard is a contiguous block: workers then write disjoint
+// cache-line ranges of the per-node arrays (active, outbox), at the price
+// of possible imbalance when active nodes cluster — acceptable because the
+// engine targets rounds where most nodes do work.
+func (st *runState) stepShard(i int) (rec any) {
+	defer func() { rec = recover() }()
+	n := st.net.N()
+	lo, hi := i*n/st.workers, (i+1)*n/st.workers
+	ctx := Ctx{st: st}
+	for v := lo; v < hi; v++ {
+		if !st.active[v] && len(st.inbox[v]) == 0 && st.round > 0 {
+			continue
+		}
+		ctx.v = v
+		st.active[v] = st.procs[v].Step(&ctx)
+	}
+	return nil
+}
+
+// stepParallel runs one synchronous round on the worker pool and returns
+// the number of messages sent.
+func (st *runState) stepParallel() int64 {
+	st.started = true
+	st.ensurePool()
+	for _, ch := range st.pool.start {
+		ch <- struct{}{}
+	}
+	var protocolPanic any
+	for range st.pool.start {
+		if r := <-st.pool.done; r != nil && protocolPanic == nil {
+			protocolPanic = r
+		}
+	}
+	if protocolPanic != nil {
+		// A model violation (e.g. double send) inside a worker: re-raise on
+		// the caller's goroutine, as the sequential engine would.
+		panic(protocolPanic)
+	}
+	// Deterministic merge: drain outboxes into inboxes in sender-index
+	// order. This serial pass is the engine's only ordering point; it also
+	// doubles as the round's message count.
+	n := st.net.N()
+	var sent int64
+	for v := 0; v < n; v++ {
+		st.inbox[v] = st.inbox[v][:0]
+	}
+	for v := 0; v < n; v++ {
+		for _, r := range st.outbox[v] {
+			st.inbox[r.to] = append(st.inbox[r.to], r.inc)
+		}
+		sent += int64(len(st.outbox[v]))
+		st.outbox[v] = st.outbox[v][:0]
+	}
+	st.inFlight = sent
+	st.round++
+	return sent
+}

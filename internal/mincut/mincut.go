@@ -59,6 +59,7 @@ func Approx(e *core.Engine, trees int) (*Result, error) {
 			return nil, err
 		}
 		packedNet := congest.NewNetwork(packed, e.Net.Seed()+int64(t))
+		packedNet.SetWorkers(e.Net.Workers())
 		pe, err := core.NewEngine(packedNet, e.Mode)
 		if err != nil {
 			return nil, err

@@ -1,0 +1,27 @@
+package main
+
+import (
+	"testing"
+
+	"shortcutpa/internal/bench"
+)
+
+// benchmarkIDs are the experiment IDs the benchmarks in bench_test.go
+// reference; keep in sync with the runExperiment call sites.
+var benchmarkIDs = []string{"T1", "T2", "F2", "C13", "C14", "C15", "A1", "A3", "ABL"}
+
+// TestBenchmarkExperimentIDsExist pins every benchmark's experiment ID to a
+// registered experiment, so renaming an experiment cannot silently turn a
+// benchmark into a b.Fatalf at bench time.
+func TestBenchmarkExperimentIDsExist(t *testing.T) {
+	all := bench.Experiments()
+	for _, id := range benchmarkIDs {
+		if _, ok := all[id]; !ok {
+			t.Errorf("benchmark references unknown experiment %q", id)
+		}
+	}
+	if len(all) != len(benchmarkIDs) {
+		t.Errorf("bench registers %d experiments but benchmarks cover %d — add the missing benchmark",
+			len(all), len(benchmarkIDs))
+	}
+}
