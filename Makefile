@@ -3,7 +3,13 @@
 
 GO ?= go
 
-.PHONY: build vet test test-race test-full bench check
+.PHONY: build vet test test-race test-full bench bench-smoke check
+
+# PR number stamped into benchmark snapshots (BENCH_$(PR).json), and the
+# provenance note recorded inside; override both per perf PR, e.g.
+#   make bench PR=5 BENCH_NOTE="batched wake scan; vs BENCH_2: ..."
+PR ?= 2
+BENCH_NOTE ?= engine benchmark snapshot (PR $(PR)); compare against the previous BENCH_<n>.json via benchstat
 
 build:
 	$(GO) build ./...
@@ -24,8 +30,17 @@ test-race:
 test-full:
 	$(GO) test ./...
 
-# Engine benchmarks: sequential vs parallel on an n=10k graph.
+# Engine benchmarks (graph-family x worker-count matrix on n=10k graphs),
+# snapshotted to a benchstat-friendly BENCH_$(PR).json for the perf
+# trajectory. Replay into benchstat with: jq -r '.raw[]' BENCH_$(PR).json
 bench:
-	$(GO) test -run='^$$' -bench=BenchmarkEngine -benchmem ./internal/congest/
+	$(GO) test -run='^$$' -bench=BenchmarkEngine -benchmem -benchtime=5x -count=3 ./internal/congest/ \
+		| tee /dev/stderr \
+		| $(GO) run ./cmd/benchsnap -o BENCH_$(PR).json -note "$(BENCH_NOTE)"
+
+# One-iteration pass over every benchmark in the repo: keeps benchmark code
+# compiling and running between perf PRs (nightly CI).
+bench-smoke:
+	$(GO) test -run='^$$' -bench=. -benchtime=1x ./...
 
 check: build vet test-race

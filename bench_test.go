@@ -21,6 +21,7 @@ func runExperiment(b *testing.B, id string, metricCol int, metricName string) {
 	if !ok {
 		b.Fatalf("unknown experiment %q", id)
 	}
+	b.ReportAllocs()
 	var last float64
 	for i := 0; i < b.N; i++ {
 		table, err := fn(12345)

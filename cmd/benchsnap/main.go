@@ -1,0 +1,121 @@
+// Command benchsnap converts `go test -bench` output on stdin into a JSON
+// benchmark snapshot (BENCH_<n>.json), the repo's perf-trajectory format:
+// one snapshot is committed per perf-relevant PR so regressions are diffable
+// in review. The snapshot keeps the raw benchmark lines verbatim — pipe
+// them back out (e.g. `jq -r '.raw[]'`) to feed benchstat — alongside a
+// parsed form for ad-hoc tooling.
+//
+// Usage:
+//
+//	go test -run '^$' -bench BenchmarkEngine -benchmem ./internal/congest/ \
+//	    | benchsnap -o BENCH_2.json -note "post flat-buffer refactor"
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// Snapshot is the file schema.
+type Snapshot struct {
+	Note       string            `json:"note,omitempty"`
+	Env        map[string]string `json:"env"`
+	Benchmarks []Benchmark       `json:"benchmarks"`
+	Raw        []string          `json:"raw"`
+}
+
+// Benchmark is one parsed result line.
+type Benchmark struct {
+	Name    string             `json:"name"`
+	Runs    int64              `json:"runs"`
+	Metrics map[string]float64 `json:"metrics"`
+}
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "benchsnap:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("benchsnap", flag.ContinueOnError)
+	out := fs.String("o", "", "output file (default: stdout)")
+	note := fs.String("note", "", "free-form note recorded in the snapshot")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	snap, err := parse(bufio.NewScanner(os.Stdin), *note)
+	if err != nil {
+		return err
+	}
+	enc, err := json.MarshalIndent(snap, "", "  ")
+	if err != nil {
+		return err
+	}
+	enc = append(enc, '\n')
+	if *out == "" {
+		_, err = os.Stdout.Write(enc)
+		return err
+	}
+	return os.WriteFile(*out, enc, 0o644)
+}
+
+// parse reads `go test -bench` text: env header lines (goos/goarch/pkg/cpu),
+// result lines ("BenchmarkX-8  10  123 ns/op  4 B/op ..."), and passthrough
+// noise (PASS, ok). Result lines are echoed into Raw so the snapshot can be
+// replayed through benchstat.
+func parse(sc *bufio.Scanner, note string) (*Snapshot, error) {
+	snap := &Snapshot{Note: note, Env: map[string]string{}}
+	for sc.Scan() {
+		line := sc.Text()
+		switch {
+		case strings.HasPrefix(line, "Benchmark"):
+			b, ok := parseResult(line)
+			if !ok {
+				continue
+			}
+			snap.Benchmarks = append(snap.Benchmarks, b)
+			snap.Raw = append(snap.Raw, line)
+		case strings.HasPrefix(line, "goos:"), strings.HasPrefix(line, "goarch:"),
+			strings.HasPrefix(line, "pkg:"), strings.HasPrefix(line, "cpu:"):
+			k, v, _ := strings.Cut(line, ":")
+			snap.Env[k] = strings.TrimSpace(v)
+			snap.Raw = append(snap.Raw, line)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if len(snap.Benchmarks) == 0 {
+		return nil, fmt.Errorf("no benchmark result lines on stdin")
+	}
+	return snap, nil
+}
+
+// parseResult parses one result line: name, run count, then (value, unit)
+// pairs such as "123 ns/op", "7 allocs/op", "456 ns/round".
+func parseResult(line string) (Benchmark, bool) {
+	fields := strings.Fields(line)
+	if len(fields) < 4 {
+		return Benchmark{}, false
+	}
+	runs, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return Benchmark{}, false
+	}
+	b := Benchmark{Name: fields[0], Runs: runs, Metrics: map[string]float64{}}
+	for i := 2; i+1 < len(fields); i += 2 {
+		v, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			return Benchmark{}, false
+		}
+		b.Metrics[fields[i+1]] = v
+	}
+	return b, true
+}

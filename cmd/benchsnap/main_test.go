@@ -1,0 +1,47 @@
+package main
+
+import (
+	"bufio"
+	"strings"
+	"testing"
+)
+
+const sample = `goos: linux
+goarch: amd64
+pkg: shortcutpa/internal/congest
+cpu: Intel(R) Xeon(R) Processor @ 2.10GHz
+BenchmarkEngine/family=torus/workers=1         	       3	   7275667 ns/op	    363783 ns/round	     802 B/op	      44 allocs/op
+BenchmarkEngine/family=star/workers=8          	       3	   5967325 ns/op	    298366 ns/round	    1018 B/op	     372 allocs/op
+PASS
+ok  	shortcutpa/internal/congest	9.451s
+`
+
+func TestParseSample(t *testing.T) {
+	snap, err := parse(bufio.NewScanner(strings.NewReader(sample)), "n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(snap.Benchmarks) != 2 {
+		t.Fatalf("parsed %d benchmarks, want 2", len(snap.Benchmarks))
+	}
+	b := snap.Benchmarks[0]
+	if b.Name != "BenchmarkEngine/family=torus/workers=1" || b.Runs != 3 {
+		t.Fatalf("bad first benchmark: %+v", b)
+	}
+	if b.Metrics["allocs/op"] != 44 || b.Metrics["ns/round"] != 363783 {
+		t.Fatalf("bad metrics: %+v", b.Metrics)
+	}
+	if snap.Env["goos"] != "linux" || snap.Env["cpu"] == "" {
+		t.Fatalf("bad env: %+v", snap.Env)
+	}
+	// Raw must round-trip the benchmark lines for benchstat.
+	if len(snap.Raw) != 6 {
+		t.Fatalf("raw kept %d lines, want 6 (4 env + 2 results)", len(snap.Raw))
+	}
+}
+
+func TestParseRejectsEmpty(t *testing.T) {
+	if _, err := parse(bufio.NewScanner(strings.NewReader("PASS\n")), ""); err == nil {
+		t.Fatal("empty input did not error")
+	}
+}

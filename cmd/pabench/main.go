@@ -6,6 +6,7 @@
 //
 //	pabench -list
 //	pabench -exp T1,F2 -seed 7
+//	pabench -exp T2 -cpuprofile cpu.out -memprofile mem.out
 //	pabench            # all experiments
 package main
 
@@ -13,6 +14,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"sort"
 	"strings"
 
@@ -29,15 +32,43 @@ func main() {
 func run(args []string) error {
 	fs := flag.NewFlagSet("pabench", flag.ContinueOnError)
 	var (
-		list    = fs.Bool("list", false, "list experiment IDs and exit")
-		exp     = fs.String("exp", "", "comma-separated experiment IDs (default: all)")
-		seed    = fs.Int64("seed", 12345, "master seed")
-		workers = fs.Int("workers", 1, "simulation engine workers (results are identical at any setting)")
+		list       = fs.Bool("list", false, "list experiment IDs and exit")
+		exp        = fs.String("exp", "", "comma-separated experiment IDs (default: all)")
+		seed       = fs.Int64("seed", 12345, "master seed")
+		workers    = fs.Int("workers", 1, "simulation engine workers (results are identical at any setting)")
+		cpuprofile = fs.String("cpuprofile", "", "write a CPU profile of the experiment run to this file")
+		memprofile = fs.String("memprofile", "", "write a heap profile taken after the experiment run to this file")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	bench.SetWorkers(*workers)
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			return fmt.Errorf("cpuprofile: %w", err)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			return fmt.Errorf("cpuprofile: %w", err)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memprofile != "" {
+		f, err := os.Create(*memprofile)
+		if err != nil {
+			return fmt.Errorf("memprofile: %w", err)
+		}
+		// Written after the experiments; engine regressions show up as
+		// steady-state heap, so collect garbage first for a clean picture.
+		defer func() {
+			defer f.Close()
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "pabench: memprofile:", err)
+			}
+		}()
+	}
 	all := bench.Experiments()
 	ids := make([]string, 0, len(all))
 	for id := range all {

@@ -1,6 +1,10 @@
 package main
 
-import "testing"
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
 
 func TestListFlag(t *testing.T) {
 	if err := run([]string{"-list"}); err != nil {
@@ -17,6 +21,29 @@ func TestUnknownExperimentFails(t *testing.T) {
 func TestBadFlagFails(t *testing.T) {
 	if err := run([]string{"-no-such-flag"}); err == nil {
 		t.Fatal("bad flag did not error")
+	}
+}
+
+// TestProfileFlagsWriteFiles checks -cpuprofile/-memprofile produce
+// non-empty pprof files around a real (cheap) experiment run.
+func TestProfileFlagsWriteFiles(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs a full experiment")
+	}
+	dir := t.TempDir()
+	cpu := filepath.Join(dir, "cpu.out")
+	mem := filepath.Join(dir, "mem.out")
+	if err := run([]string{"-exp", "A3", "-seed", "7", "-cpuprofile", cpu, "-memprofile", mem}); err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range []string{cpu, mem} {
+		fi, err := os.Stat(p)
+		if err != nil {
+			t.Fatalf("profile not written: %v", err)
+		}
+		if fi.Size() == 0 {
+			t.Fatalf("profile %s is empty", p)
+		}
 	}
 }
 

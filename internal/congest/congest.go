@@ -13,10 +13,16 @@
 // state is strictly local, so order cannot affect outcomes). Because step
 // order cannot affect outcomes, rounds may also be executed by a worker
 // pool (SetWorkers / RunParallel): each worker steps a disjoint shard of
-// nodes into a private per-sender outbox, and outboxes are merged into
-// inboxes in sender-index order, reproducing the sequential delivery order
-// exactly. Parallel runs are bit-identical to sequential runs — same
-// results, same Rounds/Messages, same per-node PRNG streams. See README.md.
+// nodes, and the edge-slot delivery buffers make the two engines write the
+// exact same memory either way. Parallel runs are bit-identical to
+// sequential runs — same results, same Rounds/Messages, same per-node PRNG
+// streams. See README.md.
+//
+// Message delivery uses flat edge-slot buffers over the graph's CSR layout
+// (README.md "Memory layout"): the model allows at most one message per
+// incident edge per round, so delivery is two flipping arrays of 2m
+// fixed-size slots — no per-round allocation, no inbox append, and no
+// cross-engine merge pass, because each slot has exactly one writer.
 //
 // Cost accounting follows the paper's measures: Rounds is the number of
 // synchronous rounds executed until global quiescence (or the budget), and
@@ -79,24 +85,23 @@ type ProcFunc func(ctx *Ctx) bool
 // Step implements Proc.
 func (f ProcFunc) Step(ctx *Ctx) bool { return f(ctx) }
 
-// link caches the far side of a port.
-type link struct {
-	to      int
-	revPort int
-}
-
 // Network binds a graph to the simulator: node IDs, per-node PRNGs, and
-// accumulated cost accounting across protocol phases.
+// accumulated cost accounting across protocol phases. The flat delivery
+// buffers are allocated once per network and reused by every phase.
 type Network struct {
-	g       *graph.Graph
-	seed    int64
-	ids     []int64
-	byID    map[int64]int
-	rngs    []*rand.Rand
-	links   [][]link
-	total   Metrics
-	phases  []Phase
-	workers int
+	g        *graph.Graph
+	csr      graph.CSR
+	nbrOrder []int32 // CSR-offset flat array: ports of v sorted by neighbor index
+	destSlot []int32 // per sender half-edge: the rank-indexed receiver slot it delivers into
+	seed     int64
+	ids      []int64
+	byID     map[int64]int
+	rngs     []*rand.Rand
+	total    Metrics
+	phases   []Phase
+	workers  int
+	clock    int64 // global round counter across phases; stamps never repeat
+	buf      *engineBuffers
 }
 
 // NewNetwork wraps g for simulation. The seed determines node IDs and all
@@ -104,12 +109,12 @@ type Network struct {
 func NewNetwork(g *graph.Graph, seed int64) *Network {
 	n := g.N()
 	net := &Network{
-		g:     g,
-		seed:  seed,
-		ids:   make([]int64, n),
-		byID:  make(map[int64]int, n),
-		rngs:  make([]*rand.Rand, n),
-		links: make([][]link, n),
+		g:    g,
+		csr:  g.CSR(),
+		seed: seed,
+		ids:  make([]int64, n),
+		byID: make(map[int64]int, n),
+		rngs: make([]*rand.Rand, n),
 	}
 	// Arbitrary unique IDs: an injective affine map of a seeded permutation,
 	// so IDs are unique, O(log n)-bit scale, and in random order (the KT0
@@ -121,11 +126,29 @@ func NewNetwork(g *graph.Graph, seed int64) *Network {
 		net.byID[id] = v
 		net.rngs[v] = rand.New(rand.NewSource(seed ^ (int64(v+1) * 0x9E3779B9)))
 	}
-	for v := 0; v < n; v++ {
-		deg := g.Degree(v)
-		net.links[v] = make([]link, deg)
-		for p := 0; p < deg; p++ {
-			net.links[v][p] = link{to: g.Neighbor(v, p), revPort: g.ReversePort(v, p)}
+	// Edge-slot geometry. Delivery slots are rank-indexed: slot RowStart[v]+k
+	// holds the message from v's k-th neighbor in ascending node order, so a
+	// linear scan of a node's slot range IS the sequential engine's
+	// sender-index delivery order — no reordering at Recv time.
+	//
+	// nbrOrder (rank -> port) falls out of one O(m) pass: iterating senders
+	// u in ascending order and appending each reverse port to u's neighbors
+	// yields every receiver's ports already sorted by neighbor index
+	// (neighbors are distinct, so ties cannot occur). destSlot then gives
+	// each sender half-edge its receiver-side slot directly: Send is one
+	// table lookup, and slots are disjoint across all (sender, port) pairs
+	// by construction.
+	rs := net.csr.RowStart
+	net.nbrOrder = make([]int32, len(net.csr.PortTo))
+	net.destSlot = make([]int32, len(net.csr.PortTo))
+	fill := make([]int32, n)
+	for u := 0; u < n; u++ {
+		for h := rs[u]; h < rs[u+1]; h++ {
+			v := net.csr.PortTo[h]
+			slot := rs[v] + fill[v]
+			net.nbrOrder[slot] = net.csr.PortRev[h]
+			net.destSlot[h] = slot
+			fill[v]++
 		}
 	}
 	return net
@@ -208,14 +231,17 @@ func (n *Network) Run(name string, procs []Proc, maxRounds int64) (Metrics, erro
 // RunParallel is Run with an explicit worker count for this phase,
 // overriding the network-level SetWorkers setting. workers <= 1 runs the
 // sequential engine; workers > 1 shards each round across that many
-// goroutines with a deterministic merge, so results are bit-identical to
-// the sequential engine.
+// goroutines; the edge-slot delivery buffers make the two bit-identical.
 func (n *Network) RunParallel(name string, procs []Proc, maxRounds int64, workers int) (Metrics, error) {
 	if len(procs) != n.N() {
 		return Metrics{}, fmt.Errorf("congest: phase %q has %d procs for %d nodes", name, len(procs), n.N())
 	}
 	st := newRunState(n, procs, workers)
 	defer st.close()
+	// Advance the network clock past every stamp this phase can have
+	// written, even on a budget failure or a protocol panic: the next
+	// phase's rounds must not alias slots stamped by an aborted one.
+	defer func() { n.clock = st.round + 2 }()
 	var cost Metrics
 	for !st.quiescent() {
 		if cost.Rounds >= maxRounds {
@@ -234,22 +260,93 @@ func (n *Network) record(name string, cost Metrics) {
 	n.phases = append(n.phases, Phase{Name: name, Cost: cost})
 }
 
-// runState is the per-phase mutable simulation state.
+// engineBuffers is the network-lifetime flat storage of the engine: the
+// flipping 2m-slot delivery buffers plus the per-node scheduling and Recv
+// state. Allocated once (first Run) and reused by every subsequent phase —
+// the global round clock guarantees stale stamps can never match, so phases
+// need no clearing. See README.md "Memory layout".
+type engineBuffers struct {
+	// Rank-indexed delivery slots (see NewNetwork): slot s in node v's CSR
+	// range holds the message from v's (s-RowStart[v])-th smallest-index
+	// neighbor. cur* is what Recv reads this round; next* is what Send
+	// writes. Slots are full Incoming values whose Port fields are static
+	// (prefilled from nbrOrder, never rewritten): Send only stores .Msg,
+	// and a fully occupied range can be handed to the protocol as-is.
+	// A slot is occupied iff its stamp equals the round it was sent in:
+	// curStamp[s] == round-1 (sent last round), nextStamp[s] == round.
+	curInc    []Incoming
+	nextInc   []Incoming
+	curStamp  []int64
+	nextStamp []int64
+	// wake*[v] stamps the last round in which some sender targeted v; the
+	// scheduler's "has incoming messages" test is wakeCur[v] == round-1.
+	wakeCur  []int64
+	wakeNext []int64
+	// recvBuf holds compacted Recv views (per-node CSR ranges) for rounds
+	// in which only some of a node's slots are occupied; recvLen[v] is the
+	// view length, or -1 when the view aliases curInc directly, and
+	// recvRound[v] tags the round the view is valid for.
+	recvBuf   []Incoming
+	recvLen   []int32
+	recvRound []int64
+	active    []bool
+}
+
+func newEngineBuffers(n *Network) *engineBuffers {
+	nodes, slots := n.N(), len(n.csr.PortTo)
+	b := &engineBuffers{
+		curInc:    make([]Incoming, slots),
+		nextInc:   make([]Incoming, slots),
+		curStamp:  make([]int64, slots),
+		nextStamp: make([]int64, slots),
+		wakeCur:   make([]int64, nodes),
+		wakeNext:  make([]int64, nodes),
+		recvBuf:   make([]Incoming, slots),
+		recvLen:   make([]int32, nodes),
+		recvRound: make([]int64, nodes),
+		active:    make([]bool, nodes),
+	}
+	for s := range b.curInc {
+		port := int(n.nbrOrder[s])
+		b.curInc[s].Port = port
+		b.nextInc[s].Port = port
+	}
+	// Stamps compare against round-1 and round, both >= -1 at the global
+	// round 0; -2 means "never written".
+	for s := range b.curStamp {
+		b.curStamp[s] = -2
+		b.nextStamp[s] = -2
+	}
+	for v := range b.wakeCur {
+		b.wakeCur[v] = -2
+		b.wakeNext[v] = -2
+		b.recvRound[v] = -2
+	}
+	return b
+}
+
+// debugPoisonRecv, when set by a test, overwrites the whole Recv view buffer
+// with poisoned entries at every round flip. A protocol that illegally
+// retains a Recv slice across rounds then observes Port == -1 / Kind ==
+// poisonKind instead of silently stale data. Too costly to leave on outside
+// tests.
+var debugPoisonRecv = false
+
+// poisonKind marks a poisoned Recv entry (debugPoisonRecv).
+const poisonKind int32 = -0x7011
+
+// runState is the per-phase simulation state: a window of the network's
+// persistent engine buffers plus this phase's round counters and pool.
 type runState struct {
-	net           *Network
-	procs         []Proc
-	round         int64
-	inbox         [][]Incoming
-	nextbox       [][]Incoming
-	active        []bool
-	started       bool
-	lastSend      []int64 // round of last send, flattened per (node, port)
-	portOff       []int   // node -> offset into lastSend
-	inFlight      int64
-	sentThisRound int64
-	workers       int        // goroutines stepping nodes; <= 1 means sequential
-	outbox        [][]routed // per-sender private outboxes; nil when sequential
-	pool          *pool      // persistent worker pool; nil until first parallel step
+	net      *Network
+	procs    []Proc
+	base     int64 // network clock at phase start; the protocol-visible round is round-base
+	round    int64 // global round number, monotone across phases
+	started  bool
+	inFlight int64
+	workers  int   // goroutines stepping nodes; <= 1 means sequential
+	pool     *pool // persistent worker pool; nil until first parallel step
+	*engineBuffers
 }
 
 func newRunState(n *Network, procs []Proc, workers int) *runState {
@@ -260,29 +357,17 @@ func newRunState(n *Network, procs []Proc, workers int) *runState {
 	if workers < 1 {
 		workers = 1
 	}
-	st := &runState{
-		net:     n,
-		procs:   procs,
-		inbox:   make([][]Incoming, nn),
-		nextbox: make([][]Incoming, nn),
-		active:  make([]bool, nn),
-		portOff: make([]int, nn+1),
-		workers: workers,
+	if n.buf == nil {
+		n.buf = newEngineBuffers(n)
 	}
-	if workers > 1 {
-		st.outbox = make([][]routed, nn)
+	return &runState{
+		net:           n,
+		procs:         procs,
+		base:          n.clock,
+		round:         n.clock,
+		workers:       workers,
+		engineBuffers: n.buf,
 	}
-	off := 0
-	for v := 0; v < nn; v++ {
-		st.portOff[v] = off
-		off += n.g.Degree(v)
-	}
-	st.portOff[nn] = off
-	st.lastSend = make([]int64, off)
-	for i := range st.lastSend {
-		st.lastSend[i] = -1
-	}
-	return st
 }
 
 func (st *runState) quiescent() bool {
@@ -300,6 +385,27 @@ func (st *runState) quiescent() bool {
 	return true
 }
 
+// scheduled reports whether node v runs this round: every node at the
+// phase's first round, then active nodes and nodes with deliveries.
+func (st *runState) scheduled(v int) bool {
+	return st.active[v] || st.round == st.base || st.wakeCur[v] == st.round-1
+}
+
+// flip ends a round: messages written this round become next round's
+// deliveries. Stale stamps in the reused buffer are at least two rounds
+// old, so they can never match a future occupancy test — no clearing.
+func (st *runState) flip() {
+	b := st.engineBuffers
+	b.curInc, b.nextInc = b.nextInc, b.curInc
+	b.curStamp, b.nextStamp = b.nextStamp, b.curStamp
+	b.wakeCur, b.wakeNext = b.wakeNext, b.wakeCur
+	if debugPoisonRecv {
+		for i := range b.recvBuf {
+			b.recvBuf[i] = Incoming{Port: -1, Msg: Message{Kind: poisonKind}}
+		}
+	}
+}
+
 // step runs one synchronous round and returns the number of messages sent.
 func (st *runState) step() int64 {
 	if st.workers > 1 {
@@ -308,24 +414,16 @@ func (st *runState) step() int64 {
 	st.started = true
 	n := st.net.N()
 	var sent int64
-	ctx := Ctx{st: st}
+	ctx := Ctx{st: st, sent: &sent}
 	for v := 0; v < n; v++ {
-		if !st.active[v] && len(st.inbox[v]) == 0 && st.round > 0 {
+		if !st.scheduled(v) {
 			continue
 		}
 		ctx.v = v
-		before := st.sentThisRound
 		st.active[v] = st.procs[v].Step(&ctx)
-		sent += st.sentThisRound - before
 	}
-	// Deliver: swap inboxes.
-	st.inFlight = 0
-	for v := 0; v < n; v++ {
-		st.inbox[v] = st.inbox[v][:0]
-		st.inbox[v], st.nextbox[v] = st.nextbox[v], st.inbox[v]
-		st.inFlight += int64(len(st.inbox[v]))
-	}
+	st.flip()
+	st.inFlight = sent
 	st.round++
-	st.sentThisRound = 0
 	return sent
 }

@@ -10,8 +10,9 @@ import (
 // port count, per-node randomness, the messages delivered this round, and
 // the ability to send one message per port.
 type Ctx struct {
-	st *runState
-	v  int
+	st   *runState
+	v    int
+	sent *int64 // messages sent through this Ctx (engine-owned counter)
 }
 
 // Node returns the node's index. Protocol code must treat this as an opaque
@@ -23,47 +24,138 @@ func (c *Ctx) Node() int { return c.v }
 func (c *Ctx) ID() int64 { return c.st.net.ids[c.v] }
 
 // Round returns the current round number within the phase (0-based).
-func (c *Ctx) Round() int64 { return c.st.round }
+func (c *Ctx) Round() int64 { return c.st.round - c.st.base }
 
 // Degree returns the node's port count.
-func (c *Ctx) Degree() int { return len(c.st.net.links[c.v]) }
+func (c *Ctx) Degree() int {
+	rs := c.st.net.csr.RowStart
+	return int(rs[c.v+1] - rs[c.v])
+}
 
 // Rand returns the node's private PRNG.
 func (c *Ctx) Rand() *rand.Rand { return c.st.net.rngs[c.v] }
 
 // Recv returns the messages delivered to this node at the start of the
-// round. The slice is owned by the engine and valid only within Step.
-func (c *Ctx) Recv() []Incoming { return c.st.inbox[c.v] }
+// round, in ascending sender-index order (each neighbor sends at most one
+// message per round, so that order is well defined — and it is the order
+// the delivery slots are laid out in, so no reordering happens here).
+//
+// The slice aliases engine-owned slot storage and is strictly read-only:
+// writing to it (including sorting it in place) corrupts the engine's
+// delivery geometry for every later round. It is also reused and
+// overwritten from the next round's buffer flip onward, so it is valid
+// only until this Step returns. A protocol that needs to reorder messages
+// or keep one beyond the current round must copy the Incoming values into
+// its own state.
+// Retention bugs are latent — the stale data often looks plausible — so
+// tests can set debugPoisonRecv to make every expired view read as poison
+// (see TestRecvRetainedAcrossRoundsIsPoisoned).
+//
+// The view is built at most once per round. When every slot in the node's
+// range is occupied (broadcast traffic, the hot case) the view is the slot
+// range itself — zero copies; otherwise the occupied slots are compacted
+// into a per-node scratch range. Either way: no allocation.
+func (c *Ctx) Recv() []Incoming {
+	st := c.st
+	b := st.engineBuffers
+	v := c.v
+	lo := st.net.csr.RowStart[v]
+	if b.recvRound[v] != st.round {
+		b.recvRound[v] = st.round
+		n := int32(0)
+		if b.wakeCur[v] == st.round-1 {
+			hi := st.net.csr.RowStart[v+1]
+			sentAt := st.round - 1
+			stamps := b.curStamp[lo:hi]
+			occupied := 0
+			for _, s := range stamps {
+				if s == sentAt {
+					occupied++
+				}
+			}
+			if occupied == len(stamps) && !debugPoisonRecv {
+				n = -1 // full range: alias the slots directly
+			} else {
+				inc := b.curInc[lo:hi]
+				recv := b.recvBuf[lo:hi]
+				for s := range stamps {
+					if stamps[s] == sentAt {
+						recv[n] = inc[s]
+						n++
+					}
+				}
+			}
+		}
+		b.recvLen[v] = n
+	}
+	if n := b.recvLen[v]; n >= 0 {
+		return b.recvBuf[lo : lo+n]
+	}
+	return b.curInc[lo:st.net.csr.RowStart[v+1]]
+}
 
-// Send transmits one message over port p, to be delivered next round.
-// Sending twice on the same port in one round violates the CONGEST model
-// and panics: that is a protocol bug, not a runtime condition.
+// Send transmits one message over port p, to be delivered next round. The
+// message is written straight into its receiver-side edge slot; slots are
+// disjoint across all (sender, port) pairs, so no buffering or merge pass
+// exists on any engine. Sending twice on the same port in one round
+// violates the CONGEST model and panics: that is a protocol bug, not a
+// runtime condition.
 func (c *Ctx) Send(p int, m Message) {
-	lk := c.st.net.links[c.v][p]
-	slot := c.st.portOff[c.v] + p
-	if c.st.lastSend[slot] == c.st.round {
-		panic(fmt.Sprintf("congest: node %d sent twice on port %d in round %d", c.v, p, c.st.round))
+	st := c.st
+	csr := &st.net.csr
+	lo, hi := csr.RowStart[c.v], csr.RowStart[c.v+1]
+	h := lo + int32(p)
+	if p < 0 || h >= hi {
+		panic(fmt.Sprintf("congest: node %d has no port %d (degree %d)", c.v, p, hi-lo))
 	}
-	c.st.lastSend[slot] = c.st.round
-	if c.st.outbox != nil {
-		// Parallel engine: buffer in the sender's private outbox; the
-		// end-of-round merge delivers in sender-index order.
-		c.st.outbox[c.v] = append(c.st.outbox[c.v], routed{to: lk.to, inc: Incoming{Port: lk.revPort, Msg: m}})
-		return
+	slot := st.net.destSlot[h]
+	b := st.engineBuffers
+	if b.nextStamp[slot] == st.round {
+		panic(fmt.Sprintf("congest: node %d sent twice on port %d in round %d", c.v, p, st.round-st.base))
 	}
-	c.st.nextbox[lk.to] = append(c.st.nextbox[lk.to], Incoming{Port: lk.revPort, Msg: m})
-	c.st.sentThisRound++
+	b.nextStamp[slot] = st.round
+	b.nextInc[slot].Msg = m
+	if st.workers <= 1 {
+		// The parallel engine derives wake stamps in the coordinator's
+		// post-barrier scan instead: concurrent senders may share a
+		// receiver, and wakeNext[to] must have one writer at a time.
+		b.wakeNext[csr.PortTo[h]] = st.round
+	}
+	*c.sent++
 }
 
 // CanSend reports whether port p is still free this round.
 func (c *Ctx) CanSend(p int) bool {
-	return c.st.lastSend[c.st.portOff[c.v]+p] != c.st.round
+	csr := &c.st.net.csr
+	lo, hi := csr.RowStart[c.v], csr.RowStart[c.v+1]
+	h := lo + int32(p)
+	if p < 0 || h >= hi {
+		panic(fmt.Sprintf("congest: node %d has no port %d (degree %d)", c.v, p, hi-lo))
+	}
+	return c.st.nextStamp[c.st.net.destSlot[h]] != c.st.round
 }
 
 // Broadcast sends m on every port (one message per edge, as the model
-// allows).
+// allows). Equivalent to calling Send on each port in ascending order, but
+// fused into one pass over the node's CSR window — the hottest send pattern
+// in the paper's protocols (floods, aggregation storms).
 func (c *Ctx) Broadcast(m Message) {
-	for p := 0; p < c.Degree(); p++ {
-		c.Send(p, m)
+	st := c.st
+	csr := &st.net.csr
+	lo, hi := csr.RowStart[c.v], csr.RowStart[c.v+1]
+	dest := st.net.destSlot[lo:hi]
+	b := st.engineBuffers
+	round := st.round
+	sequential := st.workers <= 1
+	for i, slot := range dest {
+		if b.nextStamp[slot] == round {
+			panic(fmt.Sprintf("congest: node %d sent twice on port %d in round %d", c.v, i, round-st.base))
+		}
+		b.nextStamp[slot] = round
+		b.nextInc[slot].Msg = m
+		if sequential {
+			b.wakeNext[csr.PortTo[lo+int32(i)]] = round
+		}
 	}
+	*c.sent += int64(hi - lo)
 }

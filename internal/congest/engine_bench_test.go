@@ -1,0 +1,67 @@
+package congest
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"shortcutpa/internal/graph"
+)
+
+// Engine benchmarks: steady-state round-loop throughput of the simulator
+// across graph families (degree structure stresses different parts of the
+// edge-slot delivery path) and worker counts. The network and procs are
+// built once, outside the timed loop, so the numbers measure the engine —
+// phase setup, stepping, Send/Recv delivery — not NewNetwork or closure
+// construction. `make bench` snapshots these into BENCH_<pr>.json.
+
+// benchFamilies are the n≈10k instances BenchmarkEngine runs on.
+func benchFamilies() []struct {
+	name string
+	g    *graph.Graph
+} {
+	return []struct {
+		name string
+		g    *graph.Graph
+	}{
+		// n = 10,000, uniform degree 4: the headline regression instance.
+		{"torus", graph.Torus(100, 100)},
+		// Max-degree hub: one node owns half of all edge slots.
+		{"star", graph.Star(10000)},
+		// Irregular sparse degrees, avg ~3.
+		{"random", graph.RandomConnected(10000, 3.0/10000.0, rand.New(rand.NewSource(1)))},
+	}
+}
+
+// BenchmarkEngine runs a message-heavy broadcast-aggregation storm (every
+// scheduled node broadcasts its running min-ID each round) for a fixed
+// number of rounds per iteration. Outputs are bit-identical across all
+// worker counts; workers>1 measures parallel speedup (or, on one core,
+// coordination overhead).
+func BenchmarkEngine(b *testing.B) {
+	const rounds = 20
+	for _, fam := range benchFamilies() {
+		for _, workers := range []int{1, 4, 8} {
+			b.Run(fmt.Sprintf("family=%s/workers=%d", fam.name, workers), func(b *testing.B) {
+				net := NewNetwork(fam.g, 42)
+				procs := benchProcs(net, fam.g.N(), rounds)
+				// Warm up the engine's network-lifetime buffers so the loop
+				// measures steady-state rounds, not one-time setup.
+				if _, err := net.RunParallel("warmup", procs, rounds+8, workers); err != nil {
+					b.Fatal(err)
+				}
+				net.ResetMetrics()
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					if _, err := net.RunParallel("bench", procs, rounds+8, workers); err != nil {
+						b.Fatal(err)
+					}
+					net.ResetMetrics()
+				}
+				b.StopTimer()
+				b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N*rounds), "ns/round")
+			})
+		}
+	}
+}

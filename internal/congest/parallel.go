@@ -5,40 +5,43 @@ package congest
 // Determinism is preserved by construction:
 //
 //   - each node is stepped by exactly one worker, so per-node state,
-//     per-node PRNG streams, and per-(node,port) send bookkeeping are
-//     touched by a single goroutine;
-//   - sends are buffered in the sender's private outbox instead of being
-//     appended to the receiver's inbox directly;
-//   - after all workers reach the end-of-round barrier, outboxes are merged
-//     into inboxes in sender-index order (and, within one sender, in send
-//     order), which is exactly the delivery order the sequential engine's
-//     index-order loop produces.
+//     per-node PRNG streams, and the node's Recv view are touched by a
+//     single goroutine;
+//   - Send writes straight into the receiver-side edge slot. Every slot is
+//     owned by exactly one (sender, port) pair, so workers write disjoint
+//     memory and the old per-sender outbox + sender-index merge pass does
+//     not exist: delivery order is reconstructed structurally by Recv's
+//     neighbor-ordered slot walk, on either engine;
+//   - after all workers reach the end-of-round barrier, the coordinator
+//     scans the freshly stamped slots once to mark which nodes have
+//     deliveries (the wake stamps a sequential Send writes inline — with
+//     concurrent senders they need a single writer).
 //
 // The result is bit-identical to the sequential engine: same outputs, same
 // Rounds/Messages, same PRNG streams.
 
-// routed is a sent message annotated with its destination, buffered in the
-// sender's private outbox until the end-of-round merge.
-type routed struct {
-	to  int
-	inc Incoming
+// shardDone is one worker's end-of-round report: how many messages its
+// nodes sent, and a recovered protocol panic if any.
+type shardDone struct {
+	sent int64
+	rec  any
 }
 
 // pool is a phase-lifetime worker pool: workers park between rounds on
 // their start channel rather than being respawned every round (phases run
 // for thousands of rounds). The start/done channel handoffs also establish
 // the happens-before edges between worker stepping and the coordinator's
-// merge.
+// wake scan and buffer flip.
 type pool struct {
 	start []chan struct{}
-	done  chan any // one recovered panic (or nil) per worker per round
+	done  chan shardDone // one report per worker per round
 }
 
 func (st *runState) ensurePool() {
 	if st.pool != nil {
 		return
 	}
-	p := &pool{done: make(chan any, st.workers)}
+	p := &pool{done: make(chan shardDone, st.workers)}
 	for i := 0; i < st.workers; i++ {
 		ch := make(chan struct{}, 1)
 		p.start = append(p.start, ch)
@@ -63,24 +66,27 @@ func (st *runState) close() {
 	st.pool = nil
 }
 
-// stepShard steps worker i's nodes and returns the recovered panic value,
-// if any. The shard is a contiguous block: workers then write disjoint
-// cache-line ranges of the per-node arrays (active, outbox), at the price
-// of possible imbalance when active nodes cluster — acceptable because the
-// engine targets rounds where most nodes do work.
-func (st *runState) stepShard(i int) (rec any) {
-	defer func() { rec = recover() }()
+// stepShard steps worker i's nodes and reports its message count plus the
+// recovered panic value, if any. The shard is a contiguous block: workers
+// then write disjoint cache-line ranges of the per-node arrays (active,
+// recvLen, recvRound), at the price of possible imbalance when active
+// nodes cluster — acceptable because the engine targets rounds where most
+// nodes do work.
+func (st *runState) stepShard(i int) (res shardDone) {
+	defer func() { res.rec = recover() }()
 	n := st.net.N()
 	lo, hi := i*n/st.workers, (i+1)*n/st.workers
-	ctx := Ctx{st: st}
+	var sent int64
+	ctx := Ctx{st: st, sent: &sent}
 	for v := lo; v < hi; v++ {
-		if !st.active[v] && len(st.inbox[v]) == 0 && st.round > 0 {
+		if !st.scheduled(v) {
 			continue
 		}
 		ctx.v = v
 		st.active[v] = st.procs[v].Step(&ctx)
 	}
-	return nil
+	res.sent = sent
+	return res
 }
 
 // stepParallel runs one synchronous round on the worker pool and returns
@@ -91,10 +97,13 @@ func (st *runState) stepParallel() int64 {
 	for _, ch := range st.pool.start {
 		ch <- struct{}{}
 	}
+	var sent int64
 	var protocolPanic any
 	for range st.pool.start {
-		if r := <-st.pool.done; r != nil && protocolPanic == nil {
-			protocolPanic = r
+		res := <-st.pool.done
+		sent += res.sent
+		if res.rec != nil && protocolPanic == nil {
+			protocolPanic = res.rec
 		}
 	}
 	if protocolPanic != nil {
@@ -102,21 +111,21 @@ func (st *runState) stepParallel() int64 {
 		// the caller's goroutine, as the sequential engine would.
 		panic(protocolPanic)
 	}
-	// Deterministic merge: drain outboxes into inboxes in sender-index
-	// order. This serial pass is the engine's only ordering point; it also
-	// doubles as the round's message count.
+	// Wake scan: stamp each node that received a delivery this round. This
+	// single pass over the slot stamps is the coordinator's only serial
+	// work — the sender-index merge pass of the old [][]Incoming engine is
+	// gone because slots are disjoint by construction.
+	rs := st.net.csr.RowStart
 	n := st.net.N()
-	var sent int64
 	for v := 0; v < n; v++ {
-		st.inbox[v] = st.inbox[v][:0]
-	}
-	for v := 0; v < n; v++ {
-		for _, r := range st.outbox[v] {
-			st.inbox[r.to] = append(st.inbox[r.to], r.inc)
+		for h := rs[v]; h < rs[v+1]; h++ {
+			if st.nextStamp[h] == st.round {
+				st.wakeNext[v] = st.round
+				break
+			}
 		}
-		sent += int64(len(st.outbox[v]))
-		st.outbox[v] = st.outbox[v][:0]
 	}
+	st.flip()
 	st.inFlight = sent
 	st.round++
 	return sent

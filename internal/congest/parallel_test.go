@@ -1,7 +1,6 @@
 package congest
 
 import (
-	"fmt"
 	"testing"
 
 	"shortcutpa/internal/graph"
@@ -214,23 +213,5 @@ func benchProcs(net *Network, n int, rounds int64) []Proc {
 	return procs
 }
 
-// BenchmarkEngine compares the sequential engine against the parallel
-// engine at several worker counts on an n >= 10k graph. On multi-core
-// hardware the workers>1 variants show the speedup; on a single core they
-// measure the engine's coordination overhead. Outputs are bit-identical
-// across all variants.
-func BenchmarkEngine(b *testing.B) {
-	g := graph.Torus(100, 100) // n = 10,000, degree 4
-	const rounds = 20
-	for _, workers := range []int{1, 2, 4, 8} {
-		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
-			for i := 0; i < b.N; i++ {
-				net := NewNetwork(g, 42)
-				procs := benchProcs(net, g.N(), rounds)
-				if _, err := net.RunParallel("bench", procs, rounds+8, workers); err != nil {
-					b.Fatal(err)
-				}
-			}
-		})
-	}
-}
+// BenchmarkEngine lives in engine_bench_test.go (graph-family × worker-count
+// matrix over the same benchProcs storm).

@@ -1,0 +1,99 @@
+package congest
+
+import (
+	"testing"
+
+	"shortcutpa/internal/graph"
+)
+
+// TestRecvRetainedAcrossRoundsIsPoisoned is the executable form of the Recv
+// aliasing contract: the returned slice aliases engine-owned storage and is
+// invalidated at the next round's buffer flip. A protocol that retains it
+// sees reused memory — latent, because the stale contents often look
+// plausible. With debugPoisonRecv the engine overwrites expired views with
+// a sentinel, so this test retains a slice on purpose and asserts the
+// poison is what it observes one round later.
+func TestRecvRetainedAcrossRoundsIsPoisoned(t *testing.T) {
+	debugPoisonRecv = true
+	defer func() { debugPoisonRecv = false }()
+
+	g := graph.Path(2)
+	net := NewNetwork(g, 1)
+	var retained []Incoming
+	checked := false
+	procs := []Proc{
+		// Node 0 sends to node 1 in rounds 0 and 1.
+		ProcFunc(func(ctx *Ctx) bool {
+			if ctx.Round() < 2 {
+				ctx.Send(0, Message{A: 42 + ctx.Round()})
+				return true
+			}
+			return false
+		}),
+		// Node 1 illegally retains its round-1 Recv view and inspects it in
+		// round 2.
+		ProcFunc(func(ctx *Ctx) bool {
+			switch ctx.Round() {
+			case 1:
+				retained = ctx.Recv()
+				if len(retained) != 1 || retained[0].Msg.A != 42 {
+					t.Errorf("round 1 Recv = %+v, want one message with A=42", retained)
+				}
+			case 2:
+				checked = true
+				if retained[0].Msg.Kind != poisonKind || retained[0].Port != -1 {
+					t.Errorf("retained Recv slice still reads %+v after the flip; want poison (the aliasing hazard went undetected)", retained[0])
+				}
+				if fresh := ctx.Recv(); len(fresh) != 1 || fresh[0].Msg.A != 43 {
+					t.Errorf("round 2 fresh Recv = %+v, want one message with A=43", fresh)
+				}
+			}
+			return ctx.Round() < 2
+		}),
+	}
+	if _, err := net.Run("alias", procs, 10); err != nil {
+		t.Fatal(err)
+	}
+	if !checked {
+		t.Fatal("retention check never ran")
+	}
+}
+
+// TestRecvCopySurvivesRounds documents the correct pattern: copying the
+// Incoming values out of the view keeps them stable across rounds.
+func TestRecvCopySurvivesRounds(t *testing.T) {
+	debugPoisonRecv = true
+	defer func() { debugPoisonRecv = false }()
+
+	g := graph.Path(2)
+	net := NewNetwork(g, 1)
+	var copied []Incoming
+	checked := false
+	procs := []Proc{
+		ProcFunc(func(ctx *Ctx) bool {
+			if ctx.Round() < 2 {
+				ctx.Send(0, Message{A: 7})
+				return true
+			}
+			return false
+		}),
+		ProcFunc(func(ctx *Ctx) bool {
+			switch ctx.Round() {
+			case 1:
+				copied = append([]Incoming(nil), ctx.Recv()...)
+			case 2:
+				checked = true
+				if len(copied) != 1 || copied[0].Msg.A != 7 {
+					t.Errorf("copied messages changed across rounds: %+v", copied)
+				}
+			}
+			return ctx.Round() < 2
+		}),
+	}
+	if _, err := net.Run("copy", procs, 10); err != nil {
+		t.Fatal(err)
+	}
+	if !checked {
+		t.Fatal("copy check never ran")
+	}
+}

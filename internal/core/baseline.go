@@ -123,9 +123,12 @@ func singletonDivision(e *Engine, in *part.Info, pb *part.BFS) *subpart.Division
 			div.ChildPorts[v] = append([]int(nil), pb.ChildPorts[v]...)
 			div.WholePart[v] = true
 			div.Depth[v] = pb.Depth[v]
-			for q := 0; q < g.Degree(v); q++ {
-				div.SameSub[v][q] = in.SamePart[v][q] && pb.Covered[g.Neighbor(v, q)]
-			}
+			row := div.SameSub[v]
+			same := in.SamePart[v]
+			g.ForPorts(v, func(q, to, _ int) bool {
+				row[q] = same[q] && pb.Covered[to]
+				return true
+			})
 			continue
 		}
 		div.RepID[v] = e.Net.ID(v)

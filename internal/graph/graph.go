@@ -6,11 +6,20 @@
 // "ports" 0..deg-1, matching the KT0 CONGEST model in which a node initially
 // knows only its own ID and its ports. Edge weights are positive integers in
 // [1, poly(n)], as in the paper.
+//
+// Adjacency is stored in compressed sparse row (CSR) form: three flat int32
+// arrays indexed by global half-edge number rowStart[v]+p. Ports of one node
+// are contiguous, so port iteration is a linear scan and the CONGEST engine
+// can address its per-edge message slots by the same offsets (see
+// internal/congest). The port-based accessors are thin views over the CSR
+// arrays; hot loops should use ForPorts or CSR() rather than calling
+// Neighbor/EdgeIndex per port.
 package graph
 
 import (
 	"errors"
 	"fmt"
+	"math"
 	"sort"
 )
 
@@ -23,34 +32,91 @@ type Edge struct {
 	W    Weight
 }
 
-// halfEdge is one directed side of an undirected edge as seen from a node.
-type halfEdge struct {
-	to   int // neighbor node index
-	edge int // index into Graph.edges
+// CSR is the flat compressed-sparse-row view of a graph's ported adjacency.
+// Node v's ports occupy half-edge indices [RowStart[v], RowStart[v+1]); for
+// half-edge h = RowStart[v]+p, PortTo[h] is the neighbor node, PortEdge[h]
+// the global edge index, and PortRev[h] the port at the far end (the q with
+// Neighbor(PortTo[h], q) == v). The slices are owned by the Graph and must
+// not be mutated.
+type CSR struct {
+	RowStart []int32 // len n+1
+	PortTo   []int32 // len 2m
+	PortEdge []int32 // len 2m
+	PortRev  []int32 // len 2m
 }
 
-// Graph is an undirected multigraph-free graph with ported adjacency lists.
-// The zero value is an empty graph; use New or a generator.
+// Graph is an undirected multigraph-free graph with ported adjacency lists
+// in CSR layout. The zero value is an empty graph; use New or a generator.
 type Graph struct {
 	n     int
 	edges []Edge
-	adj   [][]halfEdge
+	csr   CSR
 }
 
 // New returns a graph with n nodes and the given undirected edges.
-// Self-loops and duplicate edges are rejected.
+// Self-loops and duplicate edges are rejected. Port numbering follows edge
+// order: port p of node v leads across the p-th edge incident to v in the
+// input list.
 func New(n int, edges []Edge) (*Graph, error) {
 	if n < 0 {
 		return nil, errors.New("graph: negative node count")
 	}
-	g := &Graph{n: n, adj: make([][]halfEdge, n)}
-	seen := make(map[[2]int]struct{}, len(edges))
-	for _, e := range edges {
-		if err := g.addEdge(e, seen); err != nil {
-			return nil, err
-		}
+	if int64(n) > math.MaxInt32 || 2*int64(len(edges)) > math.MaxInt32 {
+		return nil, errors.New("graph: size exceeds int32 CSR index range")
 	}
+	g := &Graph{n: n, edges: append([]Edge(nil), edges...)}
+	seen := make(map[[2]int]struct{}, len(edges))
+	deg := make([]int32, n)
+	for _, e := range g.edges {
+		if e.U < 0 || e.U >= n || e.V < 0 || e.V >= n {
+			return nil, fmt.Errorf("graph: edge (%d,%d) out of range [0,%d)", e.U, e.V, n)
+		}
+		if e.U == e.V {
+			return nil, fmt.Errorf("graph: self-loop at %d", e.U)
+		}
+		if e.W <= 0 {
+			return nil, fmt.Errorf("graph: edge (%d,%d) has non-positive weight %d", e.U, e.V, e.W)
+		}
+		key := [2]int{min(e.U, e.V), max(e.U, e.V)}
+		if _, dup := seen[key]; dup {
+			return nil, fmt.Errorf("graph: duplicate edge (%d,%d)", e.U, e.V)
+		}
+		seen[key] = struct{}{}
+		deg[e.U]++
+		deg[e.V]++
+	}
+	g.csr = buildCSR(n, g.edges, deg)
 	return g, nil
+}
+
+// buildCSR lays out the ported adjacency of a validated edge list. Filling
+// both halves of each edge in one pass makes reverse ports free: when edge i
+// lands at port pU of U and pV of V, each half records the other's port.
+func buildCSR(n int, edges []Edge, deg []int32) CSR {
+	h := 2 * len(edges)
+	c := CSR{
+		RowStart: make([]int32, n+1),
+		PortTo:   make([]int32, h),
+		PortEdge: make([]int32, h),
+		PortRev:  make([]int32, h),
+	}
+	for v := 0; v < n; v++ {
+		c.RowStart[v+1] = c.RowStart[v] + deg[v]
+	}
+	cursor := make([]int32, n)
+	copy(cursor, c.RowStart[:n])
+	for i, e := range edges {
+		hu, hv := cursor[e.U], cursor[e.V]
+		cursor[e.U]++
+		cursor[e.V]++
+		c.PortTo[hu] = int32(e.V)
+		c.PortTo[hv] = int32(e.U)
+		c.PortEdge[hu] = int32(i)
+		c.PortEdge[hv] = int32(i)
+		c.PortRev[hu] = hv - c.RowStart[e.V]
+		c.PortRev[hv] = hu - c.RowStart[e.U]
+	}
+	return c
 }
 
 // MustNew is New but panics on error. Intended for generators and tests whose
@@ -63,45 +129,42 @@ func MustNew(n int, edges []Edge) *Graph {
 	return g
 }
 
-func (g *Graph) addEdge(e Edge, seen map[[2]int]struct{}) error {
-	if e.U < 0 || e.U >= g.n || e.V < 0 || e.V >= g.n {
-		return fmt.Errorf("graph: edge (%d,%d) out of range [0,%d)", e.U, e.V, g.n)
-	}
-	if e.U == e.V {
-		return fmt.Errorf("graph: self-loop at %d", e.U)
-	}
-	if e.W <= 0 {
-		return fmt.Errorf("graph: edge (%d,%d) has non-positive weight %d", e.U, e.V, e.W)
-	}
-	key := [2]int{min(e.U, e.V), max(e.U, e.V)}
-	if _, dup := seen[key]; dup {
-		return fmt.Errorf("graph: duplicate edge (%d,%d)", e.U, e.V)
-	}
-	seen[key] = struct{}{}
-	idx := len(g.edges)
-	g.edges = append(g.edges, e)
-	g.adj[e.U] = append(g.adj[e.U], halfEdge{to: e.V, edge: idx})
-	g.adj[e.V] = append(g.adj[e.V], halfEdge{to: e.U, edge: idx})
-	return nil
-}
-
 // N returns the number of nodes.
 func (g *Graph) N() int { return g.n }
 
 // M returns the number of edges.
 func (g *Graph) M() int { return len(g.edges) }
 
+// CSR returns the flat adjacency arrays. The slices are owned by the graph:
+// read-only, valid for the graph's lifetime.
+func (g *Graph) CSR() CSR { return g.csr }
+
 // Degree returns the degree of node v.
-func (g *Graph) Degree(v int) int { return len(g.adj[v]) }
+func (g *Graph) Degree(v int) int { return int(g.csr.RowStart[v+1] - g.csr.RowStart[v]) }
 
 // Neighbor returns the node at the far end of port p of node v.
-func (g *Graph) Neighbor(v, p int) int { return g.adj[v][p].to }
+func (g *Graph) Neighbor(v, p int) int { return int(g.csr.PortTo[g.csr.RowStart[v]+int32(p)]) }
 
 // EdgeIndex returns the global edge index behind port p of node v.
-func (g *Graph) EdgeIndex(v, p int) int { return g.adj[v][p].edge }
+func (g *Graph) EdgeIndex(v, p int) int { return int(g.csr.PortEdge[g.csr.RowStart[v]+int32(p)]) }
 
 // EdgeWeight returns the weight of the edge behind port p of node v.
-func (g *Graph) EdgeWeight(v, p int) Weight { return g.edges[g.adj[v][p].edge].W }
+func (g *Graph) EdgeWeight(v, p int) Weight {
+	return g.edges[g.csr.PortEdge[g.csr.RowStart[v]+int32(p)]].W
+}
+
+// ForPorts calls fn for each port p of node v in ascending port order, with
+// the neighbor node and global edge index behind it, until fn returns false.
+// This is the cache-friendly way to scan a node's incident edges: one linear
+// pass over the CSR arrays instead of a bounds-checked lookup per accessor.
+func (g *Graph) ForPorts(v int, fn func(p, to, edge int) bool) {
+	lo, hi := g.csr.RowStart[v], g.csr.RowStart[v+1]
+	for h := lo; h < hi; h++ {
+		if !fn(int(h-lo), int(g.csr.PortTo[h]), int(g.csr.PortEdge[h])) {
+			return
+		}
+	}
+}
 
 // Edge returns the i-th edge.
 func (g *Graph) Edge(i int) Edge { return g.edges[i] }
@@ -115,26 +178,19 @@ func (g *Graph) Edges() []Edge {
 
 // PortTo returns the port of v that leads to u, or -1 if u is not adjacent.
 func (g *Graph) PortTo(v, u int) int {
-	for p, h := range g.adj[v] {
-		if h.to == u {
-			return p
+	lo, hi := g.csr.RowStart[v], g.csr.RowStart[v+1]
+	for h := lo; h < hi; h++ {
+		if int(g.csr.PortTo[h]) == u {
+			return int(h - lo)
 		}
 	}
 	return -1
 }
 
 // ReversePort returns the port at the far end of port p of node v, i.e. the
-// port q of u := Neighbor(v,p) with Neighbor(u,q) == v.
-func (g *Graph) ReversePort(v, p int) int {
-	u := g.adj[v][p].to
-	e := g.adj[v][p].edge
-	for q, h := range g.adj[u] {
-		if h.edge == e {
-			return q
-		}
-	}
-	return -1 // unreachable on a well-formed graph
-}
+// port q of u := Neighbor(v,p) with Neighbor(u,q) == v. O(1): reverse ports
+// are materialized in the CSR build.
+func (g *Graph) ReversePort(v, p int) int { return int(g.csr.PortRev[g.csr.RowStart[v]+int32(p)]) }
 
 // TotalWeight returns the sum of all edge weights.
 func (g *Graph) TotalWeight() Weight {
@@ -159,9 +215,10 @@ func (g *Graph) Reweight(w func(i int, e Edge) Weight) (*Graph, error) {
 // SortedNeighbors returns the neighbor node indices of v in ascending order.
 // Intended for tests and offline oracles; protocols must use ports.
 func (g *Graph) SortedNeighbors(v int) []int {
-	out := make([]int, 0, len(g.adj[v]))
-	for _, h := range g.adj[v] {
-		out = append(out, h.to)
+	lo, hi := g.csr.RowStart[v], g.csr.RowStart[v+1]
+	out := make([]int, 0, hi-lo)
+	for h := lo; h < hi; h++ {
+		out = append(out, int(g.csr.PortTo[h]))
 	}
 	sort.Ints(out)
 	return out

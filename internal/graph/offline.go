@@ -20,10 +20,11 @@ func (g *Graph) BFSFrom(src int) []int {
 	for len(queue) > 0 {
 		v := queue[0]
 		queue = queue[1:]
-		for _, h := range g.adj[v] {
-			if dist[h.to] < 0 {
-				dist[h.to] = dist[v] + 1
-				queue = append(queue, h.to)
+		for h := g.csr.RowStart[v]; h < g.csr.RowStart[v+1]; h++ {
+			to := int(g.csr.PortTo[h])
+			if dist[to] < 0 {
+				dist[to] = dist[v] + 1
+				queue = append(queue, to)
 			}
 		}
 	}
@@ -89,10 +90,11 @@ func (g *Graph) Components() ([]int, int) {
 		for len(queue) > 0 {
 			v := queue[0]
 			queue = queue[1:]
-			for _, h := range g.adj[v] {
-				if comp[h.to] < 0 {
-					comp[h.to] = next
-					queue = append(queue, h.to)
+			for h := g.csr.RowStart[v]; h < g.csr.RowStart[v+1]; h++ {
+				to := int(g.csr.PortTo[h])
+				if comp[to] < 0 {
+					comp[to] = next
+					queue = append(queue, to)
 				}
 			}
 		}
@@ -129,11 +131,12 @@ func (g *Graph) IsBipartite() (side []int, ok bool) {
 		for len(queue) > 0 {
 			v := queue[0]
 			queue = queue[1:]
-			for _, h := range g.adj[v] {
-				if side[h.to] < 0 {
-					side[h.to] = 1 - side[v]
-					queue = append(queue, h.to)
-				} else if side[h.to] == side[v] {
+			for h := g.csr.RowStart[v]; h < g.csr.RowStart[v+1]; h++ {
+				to := int(g.csr.PortTo[h])
+				if side[to] < 0 {
+					side[to] = 1 - side[v]
+					queue = append(queue, to)
+				} else if side[to] == side[v] {
 					return nil, false
 				}
 			}
@@ -250,11 +253,12 @@ func (g *Graph) Dijkstra(src int) []int64 {
 		if top.d > dist[top.v] {
 			continue
 		}
-		for _, h := range g.adj[top.v] {
-			nd := top.d + int64(g.edges[h.edge].W)
-			if nd < dist[h.to] {
-				dist[h.to] = nd
-				pq.push(distItem{v: h.to, d: nd})
+		for h := g.csr.RowStart[top.v]; h < g.csr.RowStart[top.v+1]; h++ {
+			to := int(g.csr.PortTo[h])
+			nd := top.d + int64(g.edges[g.csr.PortEdge[h]].W)
+			if nd < dist[to] {
+				dist[to] = nd
+				pq.push(distItem{v: to, d: nd})
 			}
 		}
 	}

@@ -148,9 +148,12 @@ func verifyCut(e *core.Engine, side []bool) (graph.Weight, error) {
 			in.Dense[v] = 1
 		}
 		in.SamePart[v] = make([]bool, g.Degree(v))
-		for q := 0; q < g.Degree(v); q++ {
-			in.SamePart[v][q] = side[g.Neighbor(v, q)] == side[v]
-		}
+		same := in.SamePart[v]
+		sv := side[v]
+		g.ForPorts(v, func(q, to, _ int) bool {
+			same[q] = side[to] == sv
+			return true
+		})
 	}
 	if err := e.CoarsenToLeaders(in); err != nil {
 		return 0, err
@@ -158,11 +161,13 @@ func verifyCut(e *core.Engine, side []bool) (graph.Weight, error) {
 	vals := make([]congest.Val, n)
 	for v := 0; v < n; v++ {
 		var w int64
-		for q := 0; q < g.Degree(v); q++ {
-			if !in.SamePart[v][q] {
-				w += int64(g.EdgeWeight(v, q))
+		same := in.SamePart[v]
+		g.ForPorts(v, func(q, _, edge int) bool {
+			if !same[q] {
+				w += int64(g.Edge(edge).W)
 			}
-		}
+			return true
+		})
 		vals[v] = congest.Val{A: w}
 	}
 	res, err := e.Solve(in, vals, congest.SumPair)

@@ -81,14 +81,15 @@ func Run(e *core.Engine, opts Options) (*Result, error) {
 		hasAny := false
 		for v := 0; v < n; v++ {
 			cand[v] = congest.Val{A: inf62}
-			for q := 0; q < g.Degree(v); q++ {
-				if sameFrag[v][q] {
-					continue
+			frag := sameFrag[v]
+			g.ForPorts(v, func(q, _, edge int) bool {
+				if !frag[q] {
+					val := congest.Val{A: int64(g.Edge(edge).W), B: int64(edge)}
+					cand[v] = congest.MinPair(cand[v], val)
+					hasAny = true
 				}
-				val := congest.Val{A: int64(g.EdgeWeight(v, q)), B: int64(g.EdgeIndex(v, q))}
-				cand[v] = congest.MinPair(cand[v], val)
-				hasAny = true
-			}
+				return true
+			})
 		}
 		if !hasAny {
 			break // every fragment is a full component
@@ -105,13 +106,15 @@ func Run(e *core.Engine, opts Options) (*Result, error) {
 			if moe[v].A == inf62 {
 				continue
 			}
-			for q := 0; q < g.Degree(v); q++ {
-				if !sameFrag[v][q] &&
-					int64(g.EdgeWeight(v, q)) == moe[v].A &&
-					int64(g.EdgeIndex(v, q)) == moe[v].B {
+			frag := sameFrag[v]
+			g.ForPorts(v, func(q, _, edge int) bool {
+				if !frag[q] &&
+					int64(g.Edge(edge).W) == moe[v].A &&
+					int64(edge) == moe[v].B {
 					chosen[v] = q
 				}
-			}
+				return true
+			})
 		}
 
 		sj, err := subpart.StarJoin(e.Net, fi, chosen, agg, e.Mode == core.Deterministic, int64(phase), int64(16*n+4096))

@@ -66,11 +66,13 @@ func FromDense(net *congest.Network, parts []int) (*Info, error) {
 	copy(in.Dense, dense)
 	for v := 0; v < n; v++ {
 		in.LeaderID[v] = -1
-		deg := g.Degree(v)
-		in.SamePart[v] = make([]bool, deg)
-		for p := 0; p < deg; p++ {
-			in.SamePart[v][p] = dense[g.Neighbor(v, p)] == dense[v]
-		}
+		in.SamePart[v] = make([]bool, g.Degree(v))
+		same := in.SamePart[v]
+		dv := dense[v]
+		g.ForPorts(v, func(p, to, _ int) bool {
+			same[p] = dense[to] == dv
+			return true
+		})
 	}
 	return in, nil
 }

@@ -290,9 +290,12 @@ func (s *Shortcut) VerifyAgainstTree(net *congest.Network, in *part.Info) error 
 				return fmt.Errorf("shortcut: root has an up-claim for part %d", i)
 			}
 			u := g.Neighbor(v, pp)
+			// The edge v-u is unique, so the mirrored down-port must be
+			// exactly the CSR-materialized reverse port of pp.
+			rq := g.ReversePort(v, pp)
 			found := false
 			for _, q := range s.DownPorts[u][i] {
-				if g.Neighbor(u, q) == v {
+				if q == rq {
 					found = true
 				}
 			}

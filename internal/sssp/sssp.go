@@ -89,9 +89,10 @@ func Approx(e *core.Engine, src int, beta float64) (*Result, error) {
 	vals := make([]congest.Val, n)
 	for v := 0; v < n; v++ {
 		var sw int64
-		for q := 0; q < g.Degree(v); q++ {
-			sw += int64(g.EdgeWeight(v, q))
-		}
+		g.ForPorts(v, func(_, _, edge int) bool {
+			sw += int64(g.Edge(edge).W)
+			return true
+		})
 		vals[v] = congest.Val{A: sw, B: int64(g.Degree(v))}
 	}
 	agg, err := tree.Convergecast(e.Net, e.Tree, vals, congest.SumPair, nil, budget)
@@ -210,9 +211,11 @@ func lightPartition(e *core.Engine, theta int64) *part.Info {
 	for v := 0; v < n; v++ {
 		in.LeaderID[v] = -1
 		in.SamePart[v] = make([]bool, g.Degree(v))
-		for q := 0; q < g.Degree(v); q++ {
-			in.SamePart[v][q] = keep[g.EdgeIndex(v, q)]
-		}
+		same := in.SamePart[v]
+		g.ForPorts(v, func(q, _, edge int) bool {
+			same[q] = keep[edge]
+			return true
+		})
 	}
 	return in
 }

@@ -174,10 +174,13 @@ func (div *Division) SameSubOrSelf(net *congest.Network, in *part.Info) [][]bool
 	out := make([][]bool, n)
 	for v := 0; v < n; v++ {
 		out[v] = make([]bool, g.Degree(v))
-		for q := 0; q < g.Degree(v); q++ {
-			u := g.Neighbor(v, q)
-			out[v][q] = in.SamePart[v][q] && div.RepID[u] == div.RepID[v]
-		}
+		row := out[v]
+		rep := div.RepID[v]
+		same := in.SamePart[v]
+		g.ForPorts(v, func(q, to, _ int) bool {
+			row[q] = same[q] && div.RepID[to] == rep
+			return true
+		})
 	}
 	return out
 }

@@ -238,12 +238,17 @@ func (div *Division) Validate(net *congest.Network, in *part.Info, maxDepth int)
 				return fmt.Errorf("subpart: child link %d->%d not mirrored", v, c)
 			}
 		}
-		for q := 0; q < g.Degree(v); q++ {
-			u := g.Neighbor(v, q)
+		var mismatch error
+		g.ForPorts(v, func(q, u, _ int) bool {
 			want := in.Dense[u] == in.Dense[v] && div.RepID[u] == div.RepID[v]
 			if in.Dense[u] == in.Dense[v] && div.SameSub[v][q] != want {
-				return fmt.Errorf("subpart: SameSub[%d][%d]=%v, want %v", v, q, div.SameSub[v][q], want)
+				mismatch = fmt.Errorf("subpart: SameSub[%d][%d]=%v, want %v", v, q, div.SameSub[v][q], want)
+				return false
 			}
+			return true
+		})
+		if mismatch != nil {
+			return mismatch
 		}
 	}
 	return nil

@@ -41,9 +41,11 @@ func SubgraphFromEdges(e *core.Engine, keep []bool) *Subgraph {
 	s := &Subgraph{InH: make([][]bool, n)}
 	for v := 0; v < n; v++ {
 		s.InH[v] = make([]bool, g.Degree(v))
-		for q := 0; q < g.Degree(v); q++ {
-			s.InH[v][q] = keep[g.EdgeIndex(v, q)]
-		}
+		inH := s.InH[v]
+		g.ForPorts(v, func(q, _, edge int) bool {
+			inH[q] = keep[edge]
+			return true
+		})
 	}
 	return s
 }
@@ -75,11 +77,13 @@ func ComponentLabels(e *core.Engine, h *Subgraph) (*Labeling, error) {
 	// Engine-side dense labels for diagnostics/oracles.
 	keep := make([]bool, g.M())
 	for v := 0; v < n; v++ {
-		for q := 0; q < g.Degree(v); q++ {
-			if h.InH[v][q] {
-				keep[g.EdgeIndex(v, q)] = true
+		inH := h.InH[v]
+		g.ForPorts(v, func(q, _, edge int) bool {
+			if inH[q] {
+				keep[edge] = true
 			}
-		}
+			return true
+		})
 	}
 	dense, _ := g.SubgraphComponents(keep)
 	copy(in.Dense, dense)
