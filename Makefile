@@ -3,12 +3,12 @@
 
 GO ?= go
 
-.PHONY: build vet test test-race test-full bench bench-smoke check
+.PHONY: build vet test test-race test-full bench bench-smoke bench-compare docs-check check
 
 # PR number stamped into benchmark snapshots (BENCH_$(PR).json), and the
 # provenance note recorded inside; override both per perf PR, e.g.
 #   make bench PR=5 BENCH_NOTE="batched wake scan; vs BENCH_2: ..."
-PR ?= 2
+PR ?= 3
 BENCH_NOTE ?= engine benchmark snapshot (PR $(PR)); compare against the previous BENCH_<n>.json via benchstat
 
 build:
@@ -43,4 +43,37 @@ bench:
 bench-smoke:
 	$(GO) test -run='^$$' -bench=. -benchtime=1x ./...
 
-check: build vet test-race
+# benchstat comparison of two committed benchmark snapshots (nightly CI
+# appends the output to its job summary for the perf trajectory). Falls
+# back to naming the raw snapshots when jq/benchstat are unavailable.
+BENCH_OLD ?= BENCH_2.json
+BENCH_NEW ?= BENCH_3.json
+bench-compare:
+	@if ! command -v jq >/dev/null 2>&1; then \
+		echo "bench-compare: jq unavailable; raw snapshots: $(BENCH_OLD) $(BENCH_NEW)"; exit 0; fi; \
+	jq -r '.raw[]' $(BENCH_OLD) > /tmp/bench_old.txt; \
+	jq -r '.raw[]' $(BENCH_NEW) > /tmp/bench_new.txt; \
+	echo "benchstat $(BENCH_OLD) vs $(BENCH_NEW):"; \
+	if command -v benchstat >/dev/null 2>&1; then \
+		benchstat /tmp/bench_old.txt /tmp/bench_new.txt; \
+	else \
+		$(GO) run golang.org/x/perf/cmd/benchstat@latest /tmp/bench_old.txt /tmp/bench_new.txt \
+		|| echo "bench-compare: benchstat unavailable; raw snapshots: $(BENCH_OLD) $(BENCH_NEW)"; \
+	fi
+
+# Every package must carry its package comment in a doc.go file, so
+# `go doc` stays useful and docs don't drift into scattered lead files.
+# Run in CI on every push/PR (part of `make check`).
+docs-check:
+	@fail=0; \
+	for d in internal/*/ cmd/*/; do \
+		if [ ! -f "$$d"doc.go ]; then \
+			echo "docs-check: $${d}doc.go missing"; fail=1; \
+		elif ! grep -Eq '^// (Package|Command) ' "$$d"doc.go; then \
+			echo "docs-check: $${d}doc.go lacks a '// Package ...' comment"; fail=1; \
+		fi; \
+	done; \
+	[ $$fail -eq 0 ] && echo "docs-check: all packages carry doc.go package comments"; \
+	exit $$fail
+
+check: build vet docs-check test-race

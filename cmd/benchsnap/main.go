@@ -1,14 +1,3 @@
-// Command benchsnap converts `go test -bench` output on stdin into a JSON
-// benchmark snapshot (BENCH_<n>.json), the repo's perf-trajectory format:
-// one snapshot is committed per perf-relevant PR so regressions are diffable
-// in review. The snapshot keeps the raw benchmark lines verbatim — pipe
-// them back out (e.g. `jq -r '.raw[]'`) to feed benchstat — alongside a
-// parsed form for ad-hoc tooling.
-//
-// Usage:
-//
-//	go test -run '^$' -bench BenchmarkEngine -benchmem ./internal/congest/ \
-//	    | benchsnap -o BENCH_2.json -note "post flat-buffer refactor"
 package main
 
 import (

@@ -1,13 +1,3 @@
-// Command pabench runs the paper-reproduction experiments (DESIGN.md
-// Section 4) and prints their tables. EXPERIMENTS.md is generated from its
-// output.
-//
-// Usage:
-//
-//	pabench -list
-//	pabench -exp T1,F2 -seed 7
-//	pabench -exp T2 -cpuprofile cpu.out -memprofile mem.out
-//	pabench            # all experiments
 package main
 
 import (

@@ -1,9 +1,3 @@
-// Command pagen generates the repository's graph families and prints their
-// structural statistics (n, m, diameter) or an edge list.
-//
-// Usage:
-//
-//	pagen -family torus -scale 2 -edges
 package main
 
 import (

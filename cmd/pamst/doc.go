@@ -1,0 +1,7 @@
+// Command pamst runs the distributed Borůvka-over-PA MST (Corollary 1.3)
+// on a generated graph and reports costs and correctness against Kruskal.
+//
+// Usage:
+//
+//	pamst -family grid -scale 3 -seed 7 -mode rand
+package main

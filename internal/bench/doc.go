@@ -1,0 +1,6 @@
+// Package bench defines the experiments that regenerate every table and
+// figure of the paper's evaluation (see DESIGN.md Section 4 for the
+// experiment index). Each experiment returns a Table that cmd/pabench
+// prints and bench_test.go reports; EXPERIMENTS.md records paper-vs-
+// measured for each.
+package bench

@@ -1,35 +1,3 @@
-// Package congest implements the synchronous CONGEST/KT0 message-passing
-// model of Peleg [36] that the paper works in (Section 2.1):
-//
-//   - the network is an undirected graph; communication proceeds in discrete
-//     synchronous rounds;
-//   - in each round every node may send one O(log n)-bit message along each
-//     incident edge; messages sent in round r are delivered at round r+1;
-//   - every node has an arbitrary unique O(log n)-bit ID, initially known
-//     only to itself (KT0); a node addresses neighbors only by local port.
-//
-// The engine is deterministic: nodes draw randomness from per-node PRNGs
-// seeded from a master seed, and nodes are stepped in index order (node
-// state is strictly local, so order cannot affect outcomes). Because step
-// order cannot affect outcomes, rounds may also be executed by a worker
-// pool (SetWorkers / RunParallel): each worker steps a disjoint shard of
-// nodes, and the edge-slot delivery buffers make the two engines write the
-// exact same memory either way. Parallel runs are bit-identical to
-// sequential runs — same results, same Rounds/Messages, same per-node PRNG
-// streams. See README.md.
-//
-// Message delivery uses flat edge-slot buffers over the graph's CSR layout
-// (README.md "Memory layout"): the model allows at most one message per
-// incident edge per round, so delivery is two flipping arrays of 2m
-// fixed-size slots — no per-round allocation, no inbox append, and no
-// cross-engine merge pass, because each slot has exactly one writer.
-//
-// Cost accounting follows the paper's measures: Rounds is the number of
-// synchronous rounds executed until global quiescence (or the budget), and
-// Messages counts every send. Quiescence — no node active and no message in
-// flight — is detected by the engine; in the paper nodes instead run each
-// phase for a precomputed worst-case budget, so engine detection only trims
-// trailing idle rounds and never alters protocol behaviour.
 package congest
 
 import (
@@ -93,6 +61,8 @@ type Network struct {
 	csr      graph.CSR
 	nbrOrder []int32 // CSR-offset flat array: ports of v sorted by neighbor index
 	destSlot []int32 // per sender half-edge: the rank-indexed receiver slot it delivers into
+	portSlot []int32 // per receiver half-edge RowStart[v]+p: the slot holding the message arriving on port p
+	scratch  *Scratch
 	seed     int64
 	ids      []int64
 	byID     map[int64]int
@@ -138,9 +108,13 @@ func NewNetwork(g *graph.Graph, seed int64) *Network {
 	// each sender half-edge its receiver-side slot directly: Send is one
 	// table lookup, and slots are disjoint across all (sender, port) pairs
 	// by construction.
+	// portSlot is nbrOrder's inverse within each row: for receiver v,
+	// portSlot[RowStart[v]+p] is the slot holding the message that arrives
+	// on port p — the O(1) lookup behind RecvOn.
 	rs := net.csr.RowStart
 	net.nbrOrder = make([]int32, len(net.csr.PortTo))
 	net.destSlot = make([]int32, len(net.csr.PortTo))
+	net.portSlot = make([]int32, len(net.csr.PortTo))
 	fill := make([]int32, n)
 	for u := 0; u < n; u++ {
 		for h := rs[u]; h < rs[u+1]; h++ {
@@ -148,6 +122,7 @@ func NewNetwork(g *graph.Graph, seed int64) *Network {
 			slot := rs[v] + fill[v]
 			net.nbrOrder[slot] = net.csr.PortRev[h]
 			net.destSlot[h] = slot
+			net.portSlot[rs[v]+net.csr.PortRev[h]] = slot
 			fill[v]++
 		}
 	}

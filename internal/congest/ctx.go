@@ -94,6 +94,61 @@ func (c *Ctx) Recv() []Incoming {
 	return b.curInc[lo:st.net.csr.RowStart[v+1]]
 }
 
+// RecvOn returns the message delivered on port p this round, if any. It is
+// the port-indexed counterpart of Recv: one table lookup and one stamp
+// compare, no view construction, no copy of anything but the returned
+// value. Protocols that await a reply on a known port (parent edges,
+// chosen-edge exchanges) should prefer it over scanning the full Recv view.
+//
+// The Incoming is returned by value, so — unlike a Recv slice — it is the
+// caller's to keep; there is no aliasing hazard. Asking for a port the node
+// does not have panics, as Send does: that is a protocol bug.
+func (c *Ctx) RecvOn(p int) (Incoming, bool) {
+	st := c.st
+	rs := st.net.csr.RowStart
+	lo, hi := rs[c.v], rs[c.v+1]
+	h := lo + int32(p)
+	if p < 0 || h >= hi {
+		panic(fmt.Sprintf("congest: node %d has no port %d (degree %d)", c.v, p, hi-lo))
+	}
+	slot := st.net.portSlot[h]
+	b := st.engineBuffers
+	if b.curStamp[slot] != st.round-1 {
+		return Incoming{}, false
+	}
+	return b.curInc[slot], true
+}
+
+// ForRecv invokes f for every message delivered this round, in the same
+// ascending sender-index order Recv reports, reading the edge-slot buffer
+// in place. rank is the sender's rank among the node's neighbors (the slot
+// offset), so rank == Port only when neighbor order and port order agree.
+//
+// ForRecv never builds the compacted Recv view: where Recv copies the
+// occupied slots of a partially full range into per-node scratch, ForRecv
+// just skips the empty ones — so it is the cheaper primitive for sparse
+// traffic, and the Incoming values it yields are stack copies the callback
+// may retain freely. Calling Send from f is allowed (delivery buffers and
+// send buffers are distinct arrays).
+func (c *Ctx) ForRecv(f func(rank int, in Incoming)) {
+	st := c.st
+	b := st.engineBuffers
+	v := c.v
+	if b.wakeCur[v] != st.round-1 {
+		return
+	}
+	rs := st.net.csr.RowStart
+	lo, hi := rs[v], rs[v+1]
+	sentAt := st.round - 1
+	stamps := b.curStamp[lo:hi]
+	inc := b.curInc[lo:hi]
+	for k := range stamps {
+		if stamps[k] == sentAt {
+			f(k, inc[k])
+		}
+	}
+}
+
 // Send transmits one message over port p, to be delivered next round. The
 // message is written straight into its receiver-side edge slot; slots are
 // disjoint across all (sender, port) pairs, so no buffering or merge pass

@@ -1,0 +1,38 @@
+// Package congest implements the synchronous CONGEST/KT0 message-passing
+// model of Peleg [36] that the paper works in (Section 2.1):
+//
+//   - the network is an undirected graph; communication proceeds in discrete
+//     synchronous rounds;
+//   - in each round every node may send one O(log n)-bit message along each
+//     incident edge; messages sent in round r are delivered at round r+1;
+//   - every node has an arbitrary unique O(log n)-bit ID, initially known
+//     only to itself (KT0); a node addresses neighbors only by local port.
+//
+// The engine is deterministic: nodes draw randomness from per-node PRNGs
+// seeded from a master seed, and nodes are stepped in index order (node
+// state is strictly local, so order cannot affect outcomes). Because step
+// order cannot affect outcomes, rounds may also be executed by a worker
+// pool (SetWorkers / RunParallel): each worker steps a disjoint shard of
+// nodes, and the edge-slot delivery buffers make the two engines write the
+// exact same memory either way. Parallel runs are bit-identical to
+// sequential runs — same results, same Rounds/Messages, same per-node PRNG
+// streams. See README.md.
+//
+// Message delivery uses flat edge-slot buffers over the graph's CSR layout
+// (README.md "Memory layout"): the model allows at most one message per
+// incident edge per round, so delivery is two flipping arrays of 2m
+// fixed-size slots — no per-round allocation, no inbox append, and no
+// cross-engine merge pass, because each slot has exactly one writer.
+// Protocols read deliveries three ways: Ctx.Recv (a read-only view, the
+// aliasing contract in README.md), Ctx.ForRecv (in-place iteration, the
+// zero-copy default), and Ctx.RecvOn (O(1) port-indexed lookup). Per-phase
+// protocol buffers ([]Proc arrays, flat per-port flags) recycle through the
+// network's Scratch arena (scratch.go) so repeated phases do not allocate.
+//
+// Cost accounting follows the paper's measures: Rounds is the number of
+// synchronous rounds executed until global quiescence (or the budget), and
+// Messages counts every send. Quiescence — no node active and no message in
+// flight — is detected by the engine; in the paper nodes instead run each
+// phase for a precomputed worst-case budget, so engine detection only trims
+// trailing idle rounds and never alters protocol behaviour.
+package congest

@@ -65,3 +65,88 @@ func BenchmarkEngine(b *testing.B) {
 		}
 	}
 }
+
+// BenchmarkEngineSetup measures PHASE SETUP — the protocol-side cost
+// BenchmarkEngine deliberately excludes: building the per-phase []Proc and
+// a per-port flag table, then running a short phase. scratch=off is the
+// pre-PR-3 idiom (fresh make([]Proc) plus a per-node [][]bool); scratch=on
+// is the flat idiom (Scratch.Procs + one CSR-offset PortBools array). The
+// allocs/op gap between the two rows is the phase-setup allocation sweep's
+// headline number.
+func BenchmarkEngineSetup(b *testing.B) {
+	for _, fam := range benchFamilies() {
+		g := fam.g
+		for _, useScratch := range []bool{false, true} {
+			name := fmt.Sprintf("family=%s/scratch=%v", fam.name, useScratch)
+			b.Run(name, func(b *testing.B) {
+				net := NewNetwork(g, 42)
+				csr := g.CSR()
+				// One warmup phase so the engine's network-lifetime buffers
+				// (and the arena, when on) exist before timing starts.
+				setupPhase(b, net, csr, useScratch)
+				net.ResetMetrics()
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					setupPhase(b, net, csr, useScratch)
+					net.ResetMetrics()
+				}
+			})
+		}
+	}
+}
+
+// setupPhase builds one phase's procs and per-port flags and runs it: every
+// node broadcasts once, receivers count deliveries on flagged ports.
+func setupPhase(b *testing.B, net *Network, csr graph.CSR, useScratch bool) {
+	b.Helper()
+	n := net.N()
+	var procs []Proc
+	var flat []bool     // scratch=on: one 2m array, CSR offsets
+	var perNode [][]bool // scratch=off: the old per-node shape
+	if useScratch {
+		procs = net.Scratch().Procs(n)
+		flat = net.Scratch().PortBools()
+		for i := range flat {
+			flat[i] = i%2 == 0
+		}
+	} else {
+		procs = make([]Proc, n)
+		perNode = make([][]bool, n)
+		for v := 0; v < n; v++ {
+			row := make([]bool, csr.RowStart[v+1]-csr.RowStart[v])
+			for i := range row {
+				row[i] = (int(csr.RowStart[v])+i)%2 == 0
+			}
+			perNode[v] = row
+		}
+	}
+	got := 0
+	for v := 0; v < n; v++ {
+		v := v
+		procs[v] = ProcFunc(func(ctx *Ctx) bool {
+			if ctx.Round() == 0 {
+				ctx.Broadcast(Message{A: int64(v)})
+				return false
+			}
+			ctx.ForRecv(func(_ int, in Incoming) {
+				var flagged bool
+				if useScratch {
+					flagged = flat[csr.RowStart[v]+int32(in.Port)]
+				} else {
+					flagged = perNode[v][in.Port]
+				}
+				if flagged {
+					got++
+				}
+			})
+			return false
+		})
+	}
+	if _, err := net.Run("setup", procs, 8); err != nil {
+		b.Fatal(err)
+	}
+	if got < 0 {
+		b.Fatal("impossible")
+	}
+}

@@ -1,0 +1,274 @@
+package congest
+
+import (
+	"math/rand"
+	"testing"
+
+	"shortcutpa/internal/graph"
+)
+
+// recvon_test.go covers the port-indexed zero-copy receive API (RecvOn,
+// ForRecv): agreement with Recv's view, the by-value (no-aliasing)
+// retention guarantee mirrored from recv_alias_test.go, and the degenerate
+// topologies the slot lookup must survive.
+
+// TestForRecvMatchesRecv drives sparse pseudo-random traffic and asserts,
+// every round at every node, that ForRecv yields exactly the Recv view (same
+// messages, same ascending sender-index order, ranks consistent with the
+// slot geometry) and that RecvOn agrees port by port.
+func TestForRecvMatchesRecv(t *testing.T) {
+	g := graph.RandomConnected(60, 0.08, rand.New(rand.NewSource(7)))
+	net := NewNetwork(g, 3)
+	n := g.N()
+	const rounds = 12
+	procs := make([]Proc, n)
+	for v := 0; v < n; v++ {
+		v := v
+		rng := rand.New(rand.NewSource(int64(v) * 31))
+		procs[v] = ProcFunc(func(ctx *Ctx) bool {
+			view := ctx.Recv()
+			var fromFor []Incoming
+			lastRank := -1
+			ctx.ForRecv(func(rank int, in Incoming) {
+				if rank <= lastRank {
+					t.Errorf("node %d: ForRecv ranks not strictly increasing (%d after %d)", v, rank, lastRank)
+				}
+				lastRank = rank
+				fromFor = append(fromFor, in)
+			})
+			if len(fromFor) != len(view) {
+				t.Fatalf("node %d round %d: ForRecv saw %d messages, Recv %d", v, ctx.Round(), len(fromFor), len(view))
+			}
+			for i := range view {
+				if view[i] != fromFor[i] {
+					t.Fatalf("node %d round %d: message %d differs: Recv %+v, ForRecv %+v", v, ctx.Round(), i, view[i], fromFor[i])
+				}
+			}
+			// RecvOn must report exactly the view's ports, nothing else.
+			seen := make(map[int]Incoming, len(view))
+			for _, in := range view {
+				seen[in.Port] = in
+			}
+			for p := 0; p < ctx.Degree(); p++ {
+				in, ok := ctx.RecvOn(p)
+				want, wantOk := seen[p]
+				if ok != wantOk {
+					t.Fatalf("node %d round %d port %d: RecvOn ok=%v, Recv view says %v", v, ctx.Round(), p, ok, wantOk)
+				}
+				if ok && in != want {
+					t.Fatalf("node %d round %d port %d: RecvOn %+v, want %+v", v, ctx.Round(), p, in, want)
+				}
+			}
+			// Sparse sends: roughly half the ports each round.
+			if ctx.Round() < rounds {
+				for p := 0; p < ctx.Degree(); p++ {
+					if rng.Intn(2) == 0 {
+						ctx.Send(p, Message{Kind: 1, A: int64(v)*1000 + ctx.Round()})
+					}
+				}
+				return true
+			}
+			return false
+		})
+	}
+	if _, err := net.Run("recvon-match", procs, rounds+4); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestRecvOnValueSurvivesRounds mirrors TestRecvRetainedAcrossRoundsIsPoisoned
+// from the other side of the contract: RecvOn and ForRecv hand out Incoming
+// VALUES, not views, so — with the poison detector armed — retaining them
+// across rounds is legal and they keep reading what was delivered, while a
+// retained Recv slice over the same traffic reads poison.
+func TestRecvOnValueSurvivesRounds(t *testing.T) {
+	debugPoisonRecv = true
+	defer func() { debugPoisonRecv = false }()
+
+	g := graph.Path(2)
+	net := NewNetwork(g, 1)
+	var byOn, byFor Incoming
+	var retainedView []Incoming
+	checked := false
+	procs := []Proc{
+		ProcFunc(func(ctx *Ctx) bool {
+			if ctx.Round() < 2 {
+				ctx.Send(0, Message{A: 42 + ctx.Round()})
+				return true
+			}
+			return false
+		}),
+		ProcFunc(func(ctx *Ctx) bool {
+			switch ctx.Round() {
+			case 1:
+				var ok bool
+				if byOn, ok = ctx.RecvOn(0); !ok || byOn.Msg.A != 42 {
+					t.Errorf("round 1 RecvOn = %+v ok=%v, want A=42", byOn, ok)
+				}
+				ctx.ForRecv(func(_ int, in Incoming) { byFor = in })
+				retainedView = ctx.Recv()
+			case 2:
+				checked = true
+				if byOn.Msg.A != 42 || byFor.Msg.A != 42 {
+					t.Errorf("retained RecvOn/ForRecv values changed: %+v / %+v, want A=42", byOn, byFor)
+				}
+				if retainedView[0].Msg.Kind != poisonKind {
+					t.Errorf("retained Recv view reads %+v, want poison — the control side of this test broke", retainedView[0])
+				}
+				if in, ok := ctx.RecvOn(0); !ok || in.Msg.A != 43 {
+					t.Errorf("round 2 RecvOn = %+v ok=%v, want A=43", in, ok)
+				}
+			}
+			return ctx.Round() < 2
+		}),
+	}
+	if _, err := net.Run("recvon-retain", procs, 10); err != nil {
+		t.Fatal(err)
+	}
+	if !checked {
+		t.Fatal("retention check never ran")
+	}
+}
+
+// TestRecvOnDegenerateTopologies exercises the slot lookup on the shapes
+// where CSR ranges collapse: the empty graph, a single node, a single edge,
+// and a disconnected graph with isolated nodes.
+func TestRecvOnDegenerateTopologies(t *testing.T) {
+	t.Run("n=0", func(t *testing.T) {
+		g, err := graph.New(0, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		net := NewNetwork(g, 1)
+		if _, err := net.Run("empty", nil, 4); err != nil {
+			t.Fatal(err)
+		}
+	})
+	t.Run("n=1", func(t *testing.T) {
+		g, err := graph.New(1, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		net := NewNetwork(g, 1)
+		ran := false
+		procs := []Proc{ProcFunc(func(ctx *Ctx) bool {
+			ran = true
+			ctx.ForRecv(func(int, Incoming) { t.Error("isolated node received a message") })
+			return false
+		})}
+		if _, err := net.Run("single", procs, 4); err != nil {
+			t.Fatal(err)
+		}
+		if !ran {
+			t.Fatal("single node never stepped")
+		}
+	})
+	t.Run("n=2", func(t *testing.T) {
+		g := graph.Path(2)
+		net := NewNetwork(g, 1)
+		got := int64(-1)
+		procs := []Proc{
+			ProcFunc(func(ctx *Ctx) bool {
+				if ctx.Round() == 0 {
+					ctx.Send(0, Message{A: 9})
+				}
+				return false
+			}),
+			ProcFunc(func(ctx *Ctx) bool {
+				if in, ok := ctx.RecvOn(0); ok {
+					got = in.Msg.A
+				}
+				return false
+			}),
+		}
+		if _, err := net.Run("pair", procs, 6); err != nil {
+			t.Fatal(err)
+		}
+		if got != 9 {
+			t.Fatalf("receiver got %d, want 9", got)
+		}
+	})
+	t.Run("isolated-nodes", func(t *testing.T) {
+		// Nodes 0-1 share the only edge; 2 and 3 are isolated.
+		g, err := graph.New(4, []graph.Edge{{U: 0, V: 1, W: 1}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		net := NewNetwork(g, 5)
+		procs := make([]Proc, 4)
+		for v := 0; v < 4; v++ {
+			v := v
+			procs[v] = ProcFunc(func(ctx *Ctx) bool {
+				if ctx.Round() == 0 && ctx.Degree() > 0 {
+					ctx.Broadcast(Message{A: int64(v)})
+				}
+				ctx.ForRecv(func(_ int, in Incoming) {
+					if v > 1 {
+						t.Errorf("isolated node %d received %+v", v, in)
+					}
+				})
+				return false
+			})
+		}
+		if _, err := net.Run("isolated", procs, 6); err != nil {
+			t.Fatal(err)
+		}
+	})
+}
+
+// TestRecvOnBadPortPanics pins the contract that a port out of range is a
+// protocol bug, matching Send.
+func TestRecvOnBadPortPanics(t *testing.T) {
+	g := graph.Path(2)
+	net := NewNetwork(g, 1)
+	procs := []Proc{
+		ProcFunc(func(ctx *Ctx) bool {
+			defer func() {
+				if recover() == nil {
+					t.Error("RecvOn(1) on a degree-1 node did not panic")
+				}
+			}()
+			ctx.RecvOn(1)
+			return false
+		}),
+		ProcFunc(func(ctx *Ctx) bool { return false }),
+	}
+	if _, err := net.Run("badport", procs, 4); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestScratchReuse pins the arena contract: buffers come back cleared, and
+// the same backing array is recycled across calls once grown.
+func TestScratchReuse(t *testing.T) {
+	g := graph.Path(3)
+	net := NewNetwork(g, 1)
+	s := net.Scratch()
+	p1 := s.Procs(3)
+	p1[0] = ProcFunc(func(ctx *Ctx) bool { return false })
+	p2 := s.Procs(3)
+	if &p1[0] != &p2[0] {
+		t.Error("Procs did not recycle its buffer")
+	}
+	if p2[0] != nil {
+		t.Error("Procs returned a dirty buffer")
+	}
+	pb := s.PortBools()
+	if len(pb) != 4 { // 2m = 4 half-edges on a 3-path
+		t.Fatalf("PortBools length %d, want 4", len(pb))
+	}
+	pb[2] = true
+	if pb2 := s.PortBools(); pb2[2] {
+		t.Error("PortBools returned a dirty buffer")
+	}
+	b := s.Bools(5)
+	b[4] = true
+	if b2 := s.Bools(2); len(b2) != 2 || b2[0] || b2[1] {
+		t.Error("Bools shrink/clear broken")
+	}
+	i64 := s.Int64s(4)
+	i64[1] = 8
+	if x := s.Int64s(4); x[1] != 0 {
+		t.Error("Int64s returned a dirty buffer")
+	}
+}

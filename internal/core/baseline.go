@@ -105,17 +105,18 @@ func (e *Engine) SolveBlocksOnly(in *part.Info, vals []congest.Val, f congest.Co
 func singletonDivision(e *Engine, in *part.Info, pb *part.BFS) *subpart.Division {
 	n := e.N
 	g := e.Net.Graph()
+	csr := g.CSR()
 	div := &subpart.Division{
 		RepID:      make([]int64, n),
 		IsRep:      make([]bool, n),
 		ParentPort: make([]int, n),
 		ChildPorts: make([][]int, n),
 		WholePart:  make([]bool, n),
-		SameSub:    make([][]bool, n),
+		Row:        csr.RowStart,
+		SameSub:    make([]bool, len(csr.PortTo)),
 		Depth:      make([]int, n),
 	}
 	for v := 0; v < n; v++ {
-		div.SameSub[v] = make([]bool, g.Degree(v))
 		if pb.Covered[v] {
 			div.RepID[v] = in.LeaderID[v]
 			div.IsRep[v] = in.IsLeader[v]
@@ -123,8 +124,8 @@ func singletonDivision(e *Engine, in *part.Info, pb *part.BFS) *subpart.Division
 			div.ChildPorts[v] = append([]int(nil), pb.ChildPorts[v]...)
 			div.WholePart[v] = true
 			div.Depth[v] = pb.Depth[v]
-			row := div.SameSub[v]
-			same := in.SamePart[v]
+			row := div.SameSubRow(v)
+			same := in.SameRow(v)
 			g.ForPorts(v, func(q, to, _ int) bool {
 				row[q] = same[q] && pb.Covered[to]
 				return true

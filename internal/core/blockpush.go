@@ -76,7 +76,7 @@ func (e *Engine) BlockPushAggregate(inf *Infra, vals []congest.Val, f congest.Co
 	}
 	n := e.N
 	upDeadline := e.D + int64(inf.SC.Congestion()) + int64(e.N/(int(e.D)+1)) + 32
-	procs := make([]congest.Proc, n)
+	procs := e.Net.Scratch().Procs(n)
 	impls := make([]*pushProc, n)
 	for v := 0; v < n; v++ {
 		impls[v] = &pushProc{e: e, inf: inf, f: f, v: v, val: vals[v], deadline: upDeadline}
@@ -149,9 +149,11 @@ func (e *Engine) coveredPartAggregate(inf *Infra, vals []congest.Val, f congest.
 		return out, nil
 	}
 	n := e.N
-	procs := make([]congest.Proc, n)
+	procs := e.Net.Scratch().Procs(n)
+	impls := make([]coveredAggProc, n)
 	for v := 0; v < n; v++ {
-		procs[v] = &coveredAggProc{inf: inf, f: f, v: v, val: vals[v], out: out}
+		impls[v] = coveredAggProc{inf: inf, f: f, v: v, val: vals[v], out: out}
+		procs[v] = &impls[v]
 	}
 	if _, err := e.Net.Run("core/covered-agg", procs, e.maxBudget()); err != nil {
 		return nil, fmt.Errorf("core: covered-part aggregation: %w", err)
@@ -184,7 +186,7 @@ func (p *coveredAggProc) Step(ctx *congest.Ctx) bool {
 	if ctx.Round() == 0 {
 		p.waiting = len(pb.ChildPorts[v])
 	}
-	for _, in := range ctx.Recv() {
+	ctx.ForRecv(func(_ int, in congest.Incoming) {
 		switch in.Msg.Kind {
 		case kCovUp:
 			p.val = p.f(p.val, congest.Val{A: in.Msg.A, B: in.Msg.B})
@@ -195,7 +197,7 @@ func (p *coveredAggProc) Step(ctx *congest.Ctx) bool {
 				ctx.Send(q, in.Msg)
 			}
 		}
-	}
+	})
 	if p.waiting == 0 && !p.fired {
 		p.fired = true
 		if pb.ParentPort[v] >= 0 {
@@ -243,12 +245,12 @@ func (p *pushProc) Step(ctx *congest.Ctx) bool {
 			p.add(myPart, p.val)
 		}
 	}
-	for _, in := range ctx.Recv() {
+	ctx.ForRecv(func(_ int, in congest.Incoming) {
 		switch in.Msg.Kind {
 		case kPushUp:
 			if p.finalized {
 				p.lost = true
-				continue
+				return
 			}
 			p.add(in.Msg.A, congest.Val{A: in.Msg.B, B: in.Msg.C})
 		case kPushDown:
@@ -263,7 +265,7 @@ func (p *pushProc) Step(ctx *congest.Ctx) bool {
 				}
 			}
 		}
-	}
+	})
 	// Up phase: forward one pending part's (merged) value per round; values
 	// stop at the part's block root, accumulating there.
 	if ctx.Round() < p.deadline && len(p.order) > 0 {

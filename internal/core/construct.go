@@ -197,9 +197,11 @@ func (e *Engine) coreFast(inf *Infra, active []int64) error {
 	}
 	threshold := int(inf.Budget)
 	n := e.N
-	procs := make([]congest.Proc, n)
+	procs := e.Net.Scratch().Procs(n)
+	impls := make([]claimProc, n) // one backing array, not n tiny allocs
 	for v := 0; v < n; v++ {
-		procs[v] = &claimProc{e: e, inf: inf, active: activeSet, threshold: threshold, v: v}
+		impls[v] = claimProc{e: e, inf: inf, active: activeSet, threshold: threshold, v: v}
+		procs[v] = &impls[v]
 	}
 	_, err := e.Net.Run("core/corefast", procs, e.maxBudget())
 	if err != nil {
@@ -236,15 +238,15 @@ func (p *claimProc) Step(ctx *congest.Ctx) bool {
 			}
 		}
 	}
-	for _, in := range ctx.Recv() {
+	ctx.ForRecv(func(_ int, in congest.Incoming) {
 		if in.Msg.Kind != kClaim {
-			continue
+			return
 		}
 		i := in.Msg.A
 		// The child's edge now carries part i; remember the down-port.
 		sc.AddDownPort(v, i, in.Port)
 		p.consider(i)
-	}
+	})
 	// Forward one queued claim per round up the tree.
 	if len(p.queue) > 0 {
 		pp := p.e.Tree.ParentPort[v]

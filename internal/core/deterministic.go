@@ -85,9 +85,11 @@ func (e *Engine) heavyPathClaim(inf *Infra, active []int64) error {
 		activeSet[id] = struct{}{}
 	}
 	n := e.N
-	procs := make([]congest.Proc, n)
+	procs := e.Net.Scratch().Procs(n)
+	impls := make([]pathProc, n) // one backing array, not n tiny allocs
 	for v := 0; v < n; v++ {
-		procs[v] = &pathProc{e: e, inf: inf, sched: sched, active: activeSet, v: v, threshold: 2 * inf.Budget}
+		impls[v] = pathProc{e: e, inf: inf, sched: sched, active: activeSet, v: v, threshold: 2 * inf.Budget}
+		procs[v] = &impls[v]
 	}
 	budget := sched.waveLength*sched.waves + 4*inf.Budget + 256
 	if _, err := e.Net.Run("core/heavypath", procs, budget); err != nil {
@@ -132,9 +134,9 @@ func (p *pathProc) Step(ctx *congest.Ctx) bool {
 		p.stepOwnWave(ctx, inWave)
 	}
 
-	for _, m := range ctx.Recv() {
+	ctx.ForRecv(func(_ int, m congest.Incoming) {
 		if m.Msg.Kind != kPathClaim {
-			continue
+			return
 		}
 		i := m.Msg.A
 		p.inf.SC.AddDownPort(v, i, m.Port) // the crossed edge carries part i
@@ -143,12 +145,12 @@ func (p *pathProc) Step(ctx *congest.Ctx) bool {
 			// Destination reached (0 = light-edge delivery), or the path is
 			// broken above: the set element stays here.
 			p.accumulate(i)
-			continue
+			return
 		}
 		// Relay toward dst, claiming my parent path edge as it crosses.
 		p.stream = append(p.stream, i)
 		p.streamDst = dst
-	}
+	})
 	p.flushStreams(ctx)
 	busy := len(p.stream) > 0 || len(p.lightQ) > 0
 	return busy || wave <= myLevel

@@ -1,10 +1,3 @@
-// Package core implements the paper's primary contribution: round- and
-// message-optimal Part-Wise Aggregation (Theorem 1.2), together with the
-// shortcut-construction subroutines it relies on — the randomized CoreFast
-// construction (Algorithm 4, after [19]), the deterministic heavy-path
-// construction (Algorithms 7 and 8), block-parameter verification
-// (Algorithm 2), star-joining-based leaderless PA (Algorithm 9 /
-// Appendix B), and the prior-work baselines of Section 3.1.
 package core
 
 import (

@@ -82,41 +82,48 @@ func (e *Engine) SolveLeaderless(in *part.Info, vals []congest.Val, f congest.Co
 func (e *Engine) CoarsenToLeaders(in *part.Info) error {
 	n := e.N
 	g := e.Net.Graph()
+	csr := g.CSR()
 
-	// Group state: leader IDs and group-membership per port.
+	// Group state: leader IDs and flat group-membership per CSR port offset.
 	leader := make([]int64, n)
-	sameGroup := make([][]bool, n)
+	sameGroup := make([]bool, len(csr.PortTo))
 	for v := 0; v < n; v++ {
 		leader[v] = e.Net.ID(v)
-		sameGroup[v] = make([]bool, g.Degree(v))
 	}
 	dsu := graph.NewDSU(n) // engine-side dense labels for Dense/diagnostics
+
+	// Level-lifetime scratch, reused across the O(log n) coarsening levels
+	// (every entry is rewritten per level).
+	isLeader := make([]bool, n)
+	cand := make([]congest.Val, n)
+	chosen := make([]int, n)
+	gi := &part.Info{
+		Row:      csr.RowStart,
+		SamePart: sameGroup,
+		LeaderID: leader,
+		IsLeader: isLeader,
+	}
 
 	maxLevels := 2*log2(n) + 8
 	for level := 0; ; level++ {
 		if level > maxLevels {
 			return fmt.Errorf("core: leaderless coarsening did not converge in %d levels", maxLevels)
 		}
-		labels, _ := dsu.Labels()
-		gi := &part.Info{
-			SamePart: sameGroup,
-			LeaderID: leader,
-			IsLeader: make([]bool, n),
-			Dense:    labels,
-		}
+		gi.Dense, _ = dsu.Labels()
 		for v := 0; v < n; v++ {
-			gi.IsLeader[v] = leader[v] == e.Net.ID(v)
+			isLeader[v] = leader[v] == e.Net.ID(v)
 		}
 
 		// Candidate out-edges: same original part, different group. Each
 		// group picks the minimum (endpoint ID, port).
 		agg := e.Aggregator(gi)
-		cand := make([]congest.Val, n)
 		hasAny := false
 		for v := 0; v < n; v++ {
 			cand[v] = congest.Val{A: 1 << 62}
-			for q := 0; q < g.Degree(v); q++ {
-				if in.SamePart[v][q] && !sameGroup[v][q] {
+			same := in.SameRow(v)
+			group := sameGroup[csr.RowStart[v]:csr.RowStart[v+1]]
+			for q := range same {
+				if same[q] && !group[q] {
 					val := congest.Val{A: e.Net.ID(v), B: int64(q)}
 					cand[v] = congest.MinPair(cand[v], val)
 					hasAny = true
@@ -130,7 +137,6 @@ func (e *Engine) CoarsenToLeaders(in *part.Info) error {
 		if err != nil {
 			return fmt.Errorf("core: coarsening level %d: %w", level, err)
 		}
-		chosen := make([]int, n)
 		for v := 0; v < n; v++ {
 			chosen[v] = -1
 			if mins[v].A == e.Net.ID(v) && mins[v].A != 1<<62 {
@@ -178,21 +184,21 @@ func (e *Engine) AdoptJoinerLeaders(chosen []int, res *subpart.StarJoinResult,
 	for v := range answer {
 		answer[v] = -1
 	}
-	procs := make([]congest.Proc, n)
+	procs := e.Net.Scratch().Procs(n)
 	for v := 0; v < n; v++ {
 		v := v
 		procs[v] = congest.ProcFunc(func(ctx *congest.Ctx) bool {
 			if ctx.Round() == 0 && res.Role[v] == subpart.RoleJoiner && chosen[v] >= 0 {
 				ctx.Send(chosen[v], congest.Message{Kind: kAdoptQ})
 			}
-			for _, m := range ctx.Recv() {
+			ctx.ForRecv(func(_ int, m congest.Incoming) {
 				switch m.Msg.Kind {
 				case kAdoptQ:
 					ctx.Send(m.Port, congest.Message{Kind: kAdoptA, A: leader[v]})
 				case kAdoptA:
 					answer[v] = m.Msg.A
 				}
-			}
+			})
 			return false
 		})
 	}
@@ -216,19 +222,22 @@ func (e *Engine) AdoptJoinerLeaders(chosen []int, res *subpart.StarJoinResult,
 }
 
 // ExchangeLeaderIDs refreshes same-group port flags from a one-round
-// leader-ID exchange on every edge.
-func (e *Engine) ExchangeLeaderIDs(leader []int64, sameGroup [][]bool) error {
+// leader-ID exchange on every edge. sameGroup is flat over the CSR offsets
+// (the part.Info.SamePart shape); every entry is rewritten.
+func (e *Engine) ExchangeLeaderIDs(leader []int64, sameGroup []bool) error {
 	n := e.N
-	procs := make([]congest.Proc, n)
+	rs := e.Net.Graph().CSR().RowStart
+	procs := e.Net.Scratch().Procs(n)
 	for v := 0; v < n; v++ {
 		v := v
+		row := sameGroup[rs[v]:rs[v+1]]
 		procs[v] = congest.ProcFunc(func(ctx *congest.Ctx) bool {
 			if ctx.Round() == 0 {
 				ctx.Broadcast(congest.Message{Kind: kGroupX, A: leader[v]})
 			}
-			for _, m := range ctx.Recv() {
-				sameGroup[v][m.Port] = m.Msg.A == leader[v]
-			}
+			ctx.ForRecv(func(_ int, m congest.Incoming) {
+				row[m.Port] = m.Msg.A == leader[v]
+			})
 			return false
 		})
 	}

@@ -152,9 +152,10 @@ func newRouterProc(cfg *routerConfig, v int) *routerProc {
 		p.treePorts = append(p.treePorts, pp)
 	}
 	p.treePorts = append(p.treePorts, div.ChildPorts[v]...)
-	g := cfg.eng.Net.Graph()
-	for q := 0; q < g.Degree(v); q++ {
-		if cfg.in.SamePart[v][q] && !div.SameSub[v][q] {
+	same := cfg.in.SameRow(v)
+	sub := div.SameSubRow(v)
+	for q := range same {
+		if same[q] && !sub[q] {
 			p.exitPorts = append(p.exitPorts, q)
 		}
 	}
@@ -404,14 +405,14 @@ func (p *routerProc) Step(ctx *congest.Ctx) bool {
 		p.started = true
 		p.startActions()
 	}
-	for _, in := range ctx.Recv() {
+	ctx.ForRecv(func(_ int, in congest.Incoming) {
 		p.handle(in)
-	}
+	})
 	if cfg.mode == modeVerify && round == cfg.verifyAt && !p.complained {
 		p.complained = true
 		if _, informed := p.informedVia[p.myPart]; !informed {
-			for q := 0; q < ctx.Degree(); q++ {
-				if cfg.in.SamePart[p.v][q] {
+			for q, ok := range cfg.in.SameRow(p.v) {
+				if ok {
 					p.enqueue(q, congest.Message{Kind: kComplain, A: p.myPart})
 				}
 			}
@@ -432,7 +433,7 @@ func (p *routerProc) Step(ctx *congest.Ctx) bool {
 // the per-node procs for result extraction.
 func runRouter(cfg *routerConfig, name string, budget int64) ([]*routerProc, error) {
 	n := cfg.eng.N
-	procs := make([]congest.Proc, n)
+	procs := cfg.eng.Net.Scratch().Procs(n)
 	impls := make([]*routerProc, n)
 	for v := 0; v < n; v++ {
 		impls[v] = newRouterProc(cfg, v)

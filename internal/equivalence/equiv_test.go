@@ -1,11 +1,3 @@
-// Package equivalence holds the cross-engine test harness: every major
-// protocol in the repository is executed under the sequential engine and
-// under the parallel engine (several worker counts), across several master
-// seeds, and the two executions must be bit-identical — same outputs, same
-// total Metrics, same per-phase cost log. This is the proof obligation for
-// the parallel engine's determinism guarantee (internal/congest/README.md);
-// any divergence in scheduling, message ordering, or per-node PRNG streams
-// shows up as a failure here.
 package equivalence
 
 import (

@@ -1,0 +1,17 @@
+// Package graph provides the static undirected graphs on which the CONGEST
+// simulator runs, generators for every graph family the paper's results are
+// parameterized by, and sequential reference algorithms used as test oracles.
+//
+// Nodes are indexed 0..N-1. Each node's incident edges are numbered by local
+// "ports" 0..deg-1, matching the KT0 CONGEST model in which a node initially
+// knows only its own ID and its ports. Edge weights are positive integers in
+// [1, poly(n)], as in the paper.
+//
+// Adjacency is stored in compressed sparse row (CSR) form: three flat int32
+// arrays indexed by global half-edge number rowStart[v]+p. Ports of one node
+// are contiguous, so port iteration is a linear scan and the CONGEST engine
+// can address its per-edge message slots by the same offsets (see
+// internal/congest). The port-based accessors are thin views over the CSR
+// arrays; hot loops should use ForPorts or CSR() rather than calling
+// Neighbor/EdgeIndex per port.
+package graph

@@ -1,16 +1,3 @@
-// Package mincut implements Corollary 1.4: approximate global minimum cut.
-// Following the Ghaffari-Haeupler recipe [15] (Section 5.2 there), the
-// algorithm computes O(log n)·poly(1/ε) MSTs under varying weights — here a
-// Thorup-style greedy tree packing, where each round's MST minimizes
-// accumulated edge load 1/w — such that some single tree edge's induced
-// 2-component cut approximates the minimum cut. Every MST is computed by
-// the distributed Borůvka-over-PA of Corollary 1.3.
-//
-// Candidate evaluation: the paper scores all n-1 single-tree-edge cuts with
-// a PA-based sketching pass; this reproduction scores candidates engine-side
-// and then *verifies the winning cut distributedly* — the two sides label
-// themselves via PA (Algorithm 9 coarsening on the split tree) and the cut
-// weight is a PA sum of crossing-edge weights. See DESIGN.md, substitutions.
 package mincut
 
 import (
@@ -136,19 +123,12 @@ func cutWeightOf(g *graph.Graph, side []bool) graph.Weight {
 func verifyCut(e *core.Engine, side []bool) (graph.Weight, error) {
 	g := e.Net.Graph()
 	n := e.N
-	in := &part.Info{
-		SamePart: make([][]bool, n),
-		LeaderID: make([]int64, n),
-		IsLeader: make([]bool, n),
-		Dense:    make([]int, n),
-	}
+	in := part.NewInfo(e.Net)
 	for v := 0; v < n; v++ {
-		in.LeaderID[v] = -1
 		if side[v] {
 			in.Dense[v] = 1
 		}
-		in.SamePart[v] = make([]bool, g.Degree(v))
-		same := in.SamePart[v]
+		same := in.SameRow(v)
 		sv := side[v]
 		g.ForPorts(v, func(q, to, _ int) bool {
 			same[q] = side[to] == sv
@@ -161,7 +141,7 @@ func verifyCut(e *core.Engine, side []bool) (graph.Weight, error) {
 	vals := make([]congest.Val, n)
 	for v := 0; v < n; v++ {
 		var w int64
-		same := in.SamePart[v]
+		same := in.SameRow(v)
 		g.ForPorts(v, func(q, _, edge int) bool {
 			if !same[q] {
 				w += int64(g.Edge(edge).W)

@@ -1,15 +1,3 @@
-// Package mst implements Corollary 1.3: a round- and message-optimal
-// distributed Minimum Spanning Tree via Borůvka's algorithm [34] over
-// Part-Wise Aggregation. Each phase, every fragment finds its
-// minimum-weight outgoing edge with one PA call (ties broken by a unique
-// edge identifier, making the MST unique), a star joining merges a constant
-// fraction of the fragments along their chosen edges, and joiners adopt
-// their receiver's leader; O(log n) phases complete the tree.
-//
-// The package also provides the no-shortcut baseline (the same Borůvka
-// skeleton with PA aggregating over fragment spanning trees only), whose
-// round complexity degrades to Θ(max fragment diameter) per phase — the
-// round-suboptimal prior-work extreme the paper improves on.
 package mst
 
 import (
@@ -43,30 +31,36 @@ const inf62 = int64(1) << 62
 func Run(e *core.Engine, opts Options) (*Result, error) {
 	n := e.N
 	g := e.Net.Graph()
+	csr := g.CSR()
 
 	leader := make([]int64, n)
-	sameFrag := make([][]bool, n)
+	sameFrag := make([]bool, len(csr.PortTo)) // flat per-port fragment flags
 	for v := 0; v < n; v++ {
 		leader[v] = e.Net.ID(v)
-		sameFrag[v] = make([]bool, g.Degree(v))
 	}
 	dsu := graph.NewDSU(n)
 	res := &Result{InMST: make([]bool, g.M())}
+
+	// Phase-lifetime scratch, reused across the O(log n) Borůvka phases
+	// (every entry is rewritten per phase).
+	isLeader := make([]bool, n)
+	cand := make([]congest.Val, n)
+	chosen := make([]int, n)
+	fi := &part.Info{
+		Row:      csr.RowStart,
+		SamePart: sameFrag,
+		LeaderID: leader,
+		IsLeader: isLeader,
+	}
 
 	maxPhases := 2*log2(n) + 8
 	for phase := 0; ; phase++ {
 		if phase > maxPhases {
 			return nil, fmt.Errorf("mst: did not converge in %d phases", maxPhases)
 		}
-		labels, _ := dsu.Labels()
-		fi := &part.Info{
-			SamePart: sameFrag,
-			LeaderID: leader,
-			IsLeader: make([]bool, n),
-			Dense:    labels,
-		}
+		fi.Dense, _ = dsu.Labels()
 		for v := 0; v < n; v++ {
-			fi.IsLeader[v] = leader[v] == e.Net.ID(v)
+			isLeader[v] = leader[v] == e.Net.ID(v)
 		}
 		var agg subpart.Agg
 		if opts.Baseline {
@@ -77,11 +71,10 @@ func Run(e *core.Engine, opts Options) (*Result, error) {
 
 		// Minimum outgoing edge per fragment: one PA-min over local
 		// candidates (weight, edge id).
-		cand := make([]congest.Val, n)
 		hasAny := false
 		for v := 0; v < n; v++ {
 			cand[v] = congest.Val{A: inf62}
-			frag := sameFrag[v]
+			frag := fi.SameRow(v)
 			g.ForPorts(v, func(q, _, edge int) bool {
 				if !frag[q] {
 					val := congest.Val{A: int64(g.Edge(edge).W), B: int64(edge)}
@@ -100,13 +93,12 @@ func Run(e *core.Engine, opts Options) (*Result, error) {
 		}
 
 		// The fragment's endpoint of the MOE marks its port.
-		chosen := make([]int, n)
 		for v := 0; v < n; v++ {
 			chosen[v] = -1
 			if moe[v].A == inf62 {
 				continue
 			}
-			frag := sameFrag[v]
+			frag := fi.SameRow(v)
 			g.ForPorts(v, func(q, _, edge int) bool {
 				if !frag[q] &&
 					int64(g.Edge(edge).W) == moe[v].A &&

@@ -1,12 +1,3 @@
-// Package part represents Part-Wise Aggregation partitions as CONGEST-local
-// knowledge and provides the intra-part protocols the paper's algorithms
-// build on: restricted flood-min leader election and radius-capped
-// intra-part BFS with coverage detection.
-//
-// Per Definition 1.1, a node knows only which of its ports stay inside its
-// part; per Section 4, the paper additionally assumes every node knows its
-// part leader's ID (an assumption removable via Algorithm 9, implemented in
-// internal/core). Part IDs are leader IDs.
 package part
 
 import (
@@ -26,17 +17,52 @@ const (
 	kindVerdictDown
 )
 
-// Info is a PA partition as local knowledge. Entry v of each slice belongs
-// to node v.
+// Info is a PA partition as local knowledge. Entry v of LeaderID/IsLeader/
+// Dense belongs to node v; SamePart is flat over the graph's CSR offsets.
 type Info struct {
-	SamePart [][]bool // per port: does the edge stay inside my part
-	LeaderID []int64  // ID of my part's leader; -1 if not (yet) known
+	// Row is the CSR row-offset table (len n+1; aliases the graph's
+	// CSR.RowStart, never a copy): node v's per-port entries occupy
+	// SamePart[Row[v]:Row[v+1]].
+	Row []int32
+	// SamePart is one flat array over all 2m half-edges: SamePart[Row[v]+p]
+	// reports whether port p of node v stays inside v's part. The flat
+	// CSR-offset layout replaces the former per-node [][]bool — one
+	// allocation instead of n+1, and the same offsets the engine's delivery
+	// slots use.
+	SamePart []bool
+	LeaderID []int64 // ID of my part's leader; -1 if not (yet) known
 	IsLeader []bool
 
 	// Dense is an engine-side dense relabeling of the partition, used only
 	// by oracles and experiment reporting, never by protocols.
 	Dense []int
 }
+
+// NewInfo allocates an empty partition shell over net's graph: a flat
+// SamePart across the CSR offsets, leaders unknown (LeaderID -1).
+func NewInfo(net *congest.Network) *Info {
+	g := net.Graph()
+	n := g.N()
+	csr := g.CSR()
+	in := &Info{
+		Row:      csr.RowStart,
+		SamePart: make([]bool, len(csr.PortTo)),
+		LeaderID: make([]int64, n),
+		IsLeader: make([]bool, n),
+		Dense:    make([]int, n),
+	}
+	for v := range in.LeaderID {
+		in.LeaderID[v] = -1
+	}
+	return in
+}
+
+// Same reports whether port p of node v stays inside v's part.
+func (in *Info) Same(v, p int) bool { return in.SamePart[in.Row[v]+int32(p)] }
+
+// SameRow returns node v's per-port window of the flat SamePart array
+// (length Degree(v), indexed by port).
+func (in *Info) SameRow(v int) []bool { return in.SamePart[in.Row[v]:in.Row[v+1]] }
 
 // NumParts returns the number of parts (engine-side).
 func (in *Info) NumParts() int {
@@ -56,18 +82,11 @@ func FromDense(net *congest.Network, parts []int) (*Info, error) {
 		return nil, err
 	}
 	n := g.N()
-	in := &Info{
-		SamePart: make([][]bool, n),
-		LeaderID: make([]int64, n),
-		IsLeader: make([]bool, n),
-		Dense:    make([]int, n),
-	}
+	in := NewInfo(net)
 	dense, _ := graph.NormalizeParts(parts)
 	copy(in.Dense, dense)
 	for v := 0; v < n; v++ {
-		in.LeaderID[v] = -1
-		in.SamePart[v] = make([]bool, g.Degree(v))
-		same := in.SamePart[v]
+		same := in.SameRow(v)
 		dv := dense[v]
 		g.ForPorts(v, func(p, to, _ int) bool {
 			same[p] = dense[to] == dv
@@ -90,22 +109,25 @@ func (in *Info) SetLeaders(leaderID []int64, isLeader []bool) {
 // leaderless case is handled round-optimally by Algorithm 9 (internal/core).
 func ElectLeaders(net *congest.Network, in *Info, maxRounds int64) error {
 	n := net.N()
-	minID := make([]int64, n)
-	procs := make([]congest.Proc, n)
+	// Leaf-scoped arena use: minID is filled, read during the single Run,
+	// and copied into in.LeaderID before this function returns.
+	minID := net.Scratch().Int64s(n)
+	procs := net.Scratch().Procs(n)
 	for v := 0; v < n; v++ {
 		v := v
 		minID[v] = net.ID(v)
+		same := in.SameRow(v)
 		procs[v] = congest.ProcFunc(func(ctx *congest.Ctx) bool {
 			improved := ctx.Round() == 0
-			for _, in2 := range ctx.Recv() {
+			ctx.ForRecv(func(_ int, in2 congest.Incoming) {
 				if in2.Msg.A < minID[v] {
 					minID[v] = in2.Msg.A
 					improved = true
 				}
-			}
+			})
 			if improved {
-				for p := 0; p < ctx.Degree(); p++ {
-					if in.SamePart[v][p] {
+				for p, ok := range same {
+					if ok {
 						ctx.Send(p, congest.Message{Kind: kindElect, A: minID[v]})
 					}
 				}
@@ -176,7 +198,7 @@ func RestrictedBFS(net *congest.Network, in *Info, radius int64, maxRounds int64
 		count:        make([]int64, n),
 		reported:     make([]bool, n),
 	}
-	procs := make([]congest.Proc, n)
+	procs := net.Scratch().Procs(n)
 	for v := 0; v < n; v++ {
 		b.ParentPort[v] = -1
 		b.Depth[v] = -1
@@ -202,14 +224,15 @@ type bfsJoinProc struct {
 
 func (p *bfsJoinProc) Step(ctx *congest.Ctx) bool {
 	st, v := p.st, p.v
+	same := st.in.SameRow(v)
 	join := func(depth int64) {
 		st.b.Joined[v] = true
 		st.b.Depth[v] = int(depth)
 		if depth >= st.radius {
 			return // cap: do not extend the wave further
 		}
-		for q := 0; q < ctx.Degree(); q++ {
-			if st.in.SamePart[v][q] && q != st.b.ParentPort[v] && ctx.CanSend(q) {
+		for q, ok := range same {
+			if ok && q != st.b.ParentPort[v] && ctx.CanSend(q) {
 				ctx.Send(q, congest.Message{Kind: kindJoin, A: depth + 1})
 			}
 		}
@@ -217,11 +240,11 @@ func (p *bfsJoinProc) Step(ctx *congest.Ctx) bool {
 	if ctx.Round() == 0 && st.in.IsLeader[v] {
 		join(0)
 	}
-	for _, m := range ctx.Recv() {
+	ctx.ForRecv(func(_ int, m congest.Incoming) {
 		switch m.Msg.Kind {
 		case kindJoin:
 			if st.b.Joined[v] {
-				continue // a JOIN to an already-joined node needs no reply
+				return // a JOIN to an already-joined node needs no reply
 			}
 			st.b.ParentPort[v] = m.Port
 			ctx.Send(m.Port, congest.Message{Kind: kindChild})
@@ -229,7 +252,7 @@ func (p *bfsJoinProc) Step(ctx *congest.Ctx) bool {
 		case kindChild:
 			st.b.ChildPorts[v] = append(st.b.ChildPorts[v], m.Port)
 		}
-	}
+	})
 	return false
 }
 
@@ -248,8 +271,8 @@ func (p *bfsVerdictProc) Step(ctx *congest.Ctx) bool {
 			// along the path toward the leader... or the whole part is
 			// unjoined, in which case no leader exists and no verdict is
 			// needed (Covered stays false).
-			for q := 0; q < ctx.Degree(); q++ {
-				if st.in.SamePart[v][q] {
+			for q, ok := range st.in.SameRow(v) {
+				if ok {
 					ctx.Send(q, congest.Message{Kind: kindUncovered})
 				}
 			}
@@ -261,7 +284,7 @@ func (p *bfsVerdictProc) Step(ctx *congest.Ctx) bool {
 	if !st.b.Joined[v] {
 		return false
 	}
-	for _, m := range ctx.Recv() {
+	ctx.ForRecv(func(_ int, m congest.Incoming) {
 		switch m.Msg.Kind {
 		case kindUncovered:
 			st.flag[v] = true
@@ -276,7 +299,7 @@ func (p *bfsVerdictProc) Step(ctx *congest.Ctx) bool {
 				ctx.Send(q, m.Msg)
 			}
 		}
-	}
+	})
 	// Fire the convergecast once all children reported. Round 1 is the
 	// earliest complaints can arrive, so leaves wait until round >= 2.
 	if ctx.Round() >= 2 && st.pendingChild[v] == 0 && !st.reported[v] {

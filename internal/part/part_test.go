@@ -21,8 +21,8 @@ func TestFromDenseSamePartMatchesPartition(t *testing.T) {
 	for v := 0; v < g.N(); v++ {
 		for p := 0; p < g.Degree(v); p++ {
 			want := parts[g.Neighbor(v, p)] == parts[v]
-			if in.SamePart[v][p] != want {
-				t.Fatalf("node %d port %d: SamePart %v, want %v", v, p, in.SamePart[v][p], want)
+			if in.Same(v, p) != want {
+				t.Fatalf("node %d port %d: SamePart %v, want %v", v, p, in.Same(v, p), want)
 			}
 		}
 	}

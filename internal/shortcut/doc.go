@@ -1,0 +1,15 @@
+// Package shortcut implements tree-restricted low-congestion shortcuts
+// (Definitions 2.1-2.3): their node-local representation, the block setup
+// pass that distributes block-root information for Lemma 4.2's routing
+// discipline, and offline quality measurement (congestion and block
+// parameter) used by verification tests and the Table 1 experiments.
+//
+// A T-restricted shortcut assigns to each part P_i a subset H_i of the BFS
+// tree's edges. Because construction claims always travel rootward, the
+// natural local representation is: node v stores the set of parts whose
+// shortcut contains v's parent edge (Up), and symmetrically the ports to
+// children whose edges it carries (DownPorts), learned when claims passed
+// by. The blocks of P_i are the connected components of the forest
+// (V(H_i), H_i); each is a subtree of T whose root is its member closest to
+// the tree root.
+package shortcut

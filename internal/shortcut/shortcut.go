@@ -1,17 +1,3 @@
-// Package shortcut implements tree-restricted low-congestion shortcuts
-// (Definitions 2.1-2.3): their node-local representation, the block setup
-// pass that distributes block-root information for Lemma 4.2's routing
-// discipline, and offline quality measurement (congestion and block
-// parameter) used by verification tests and the Table 1 experiments.
-//
-// A T-restricted shortcut assigns to each part P_i a subset H_i of the BFS
-// tree's edges. Because construction claims always travel rootward, the
-// natural local representation is: node v stores the set of parts whose
-// shortcut contains v's parent edge (Up), and symmetrically the ports to
-// children whose edges it carries (DownPorts), learned when claims passed
-// by. The blocks of P_i are the connected components of the forest
-// (V(H_i), H_i); each is a subtree of T whose root is its member closest to
-// the tree root.
 package shortcut
 
 import (
@@ -124,9 +110,11 @@ func (s *Shortcut) UpParts(v int) []int64 {
 // messages.
 func SetupBlocks(net *congest.Network, s *Shortcut, maxRounds int64) error {
 	n := net.N()
-	procs := make([]congest.Proc, n)
+	procs := net.Scratch().Procs(n)
+	impls := make([]setupProc, n) // one backing array, not n tiny allocs
 	for v := 0; v < n; v++ {
-		procs[v] = &setupProc{s: s, v: v}
+		impls[v] = setupProc{s: s, v: v}
+		procs[v] = &impls[v]
 	}
 	_, err := net.Run("shortcut/setup", procs, maxRounds)
 	return err
@@ -162,19 +150,19 @@ func (p *setupProc) Step(ctx *congest.Ctx) bool {
 			}
 		}
 	}
-	for _, m := range ctx.Recv() {
+	ctx.ForRecv(func(_ int, m congest.Incoming) {
 		if m.Msg.Kind != kindBlockSetup {
-			continue
+			return
 		}
 		i := m.Msg.A
 		if _, seen := s.Meta[v][i]; seen {
-			continue
+			return
 		}
 		s.Meta[v][i] = BlockMeta{RootDepth: m.Msg.B, RootID: m.Msg.C}
 		for _, q := range s.DownPorts[v][i] {
 			p.enqueue(q, congest.Message{Kind: kindBlockSetup, A: i, B: m.Msg.B, C: m.Msg.C})
 		}
-	}
+	})
 	return p.flush(ctx)
 }
 

@@ -1,16 +1,3 @@
-// Package sssp implements Corollary 1.5: approximate single-source shortest
-// paths with a round/message profile governed by Part-Wise Aggregation, plus
-// the exact distributed Bellman-Ford baseline.
-//
-// The approximation follows the Haeupler-Li [18] recipe in simplified form
-// (see DESIGN.md, substitutions): edges lighter than a β-scaled threshold
-// are contracted into clusters whose internal traversal is charged an upper
-// bound ((size-1)·θ, available from one PA count); Bellman-Ford then runs
-// over the contracted graph, with each meta-step using one PA-min to spread
-// the best arrival through every cluster — exactly the paper's "traverse
-// zero-weight components in a single round via PA" device. Estimates are
-// always upper bounds on true distances; β trades approximation quality
-// against meta-rounds (β -> 0 recovers exact Bellman-Ford).
 package sssp
 
 import (
@@ -47,7 +34,7 @@ func BellmanFord(e *core.Engine, src int) (*Result, error) {
 	for v := range dist {
 		dist[v] = unreached
 	}
-	procs := make([]congest.Proc, n)
+	procs := e.Net.Scratch().Procs(n)
 	for v := 0; v < n; v++ {
 		v := v
 		procs[v] = congest.ProcFunc(func(ctx *congest.Ctx) bool {
@@ -57,12 +44,12 @@ func BellmanFord(e *core.Engine, src int) (*Result, error) {
 				improved = true
 			}
 			g := e.Net.Graph()
-			for _, m := range ctx.Recv() {
+			ctx.ForRecv(func(_ int, m congest.Incoming) {
 				if nd := m.Msg.A + int64(g.EdgeWeight(v, m.Port)); nd < dist[v] {
 					dist[v] = nd
 					improved = true
 				}
-			}
+			})
 			if improved {
 				ctx.Broadcast(congest.Message{Kind: kindRelax, A: dist[v]})
 			}
@@ -196,12 +183,7 @@ func Approx(e *core.Engine, src int, beta float64) (*Result, error) {
 func lightPartition(e *core.Engine, theta int64) *part.Info {
 	g := e.Net.Graph()
 	n := e.N
-	in := &part.Info{
-		SamePart: make([][]bool, n),
-		LeaderID: make([]int64, n),
-		IsLeader: make([]bool, n),
-		Dense:    make([]int, n),
-	}
+	in := part.NewInfo(e.Net)
 	keep := make([]bool, g.M())
 	for i := 0; i < g.M(); i++ {
 		keep[i] = int64(g.Edge(i).W) <= theta
@@ -209,9 +191,7 @@ func lightPartition(e *core.Engine, theta int64) *part.Info {
 	dense, _ := g.SubgraphComponents(keep)
 	copy(in.Dense, dense)
 	for v := 0; v < n; v++ {
-		in.LeaderID[v] = -1
-		in.SamePart[v] = make([]bool, g.Degree(v))
-		same := in.SamePart[v]
+		same := in.SameRow(v)
 		g.ForPorts(v, func(q, _, edge int) bool {
 			same[q] = keep[edge]
 			return true
@@ -231,23 +211,24 @@ func relaxRound(e *core.Engine, in *part.Info, est, arrival []int64) ([]bool, er
 	n := e.N
 	g := e.Net.Graph()
 	changed := make([]bool, n)
-	procs := make([]congest.Proc, n)
+	procs := e.Net.Scratch().Procs(n)
 	for v := 0; v < n; v++ {
 		v := v
+		same := in.SameRow(v)
 		procs[v] = congest.ProcFunc(func(ctx *congest.Ctx) bool {
 			if ctx.Round() == 0 && est[v] < unreached {
-				for q := 0; q < ctx.Degree(); q++ {
-					if !in.SamePart[v][q] {
+				for q, ok := range same {
+					if !ok {
 						ctx.Send(q, congest.Message{Kind: kindRelax, A: est[v]})
 					}
 				}
 			}
-			for _, m := range ctx.Recv() {
+			ctx.ForRecv(func(_ int, m congest.Incoming) {
 				if nd := m.Msg.A + int64(g.EdgeWeight(v, m.Port)); nd < arrival[v] && nd < est[v] {
 					arrival[v] = nd
 					changed[v] = true
 				}
-			}
+			})
 			return false
 		})
 	}

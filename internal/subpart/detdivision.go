@@ -34,7 +34,7 @@ const negInf = -(int64(1) << 62)
 // completeness threshold (the paper's D).
 func DeterministicDivision(net *congest.Network, in *part.Info, pb *part.BFS, d int64, maxRounds int64) (*Division, error) {
 	n := net.N()
-	div := newDivision(n)
+	div := newDivision(net)
 	g := net.Graph()
 
 	// Covered parts: whole-part sub-parts from the part BFS tree.
@@ -56,31 +56,46 @@ func DeterministicDivision(net *congest.Network, in *part.Info, pb *part.BFS, d 
 
 	fa := &ForestAgg{Net: net, Div: div, Budget: maxRounds}
 	maxIters := 2*log2ceil(n) + 8
+	// Iteration-lifetime scratch, reused across the O(log n) merge rounds:
+	// flat per-port neighbor knowledge (every entry is rewritten by each
+	// exchange, since every node broadcasts), the candidate/choice arrays
+	// (fully reinitialized below), and the constant all-ones sizing input.
+	csr := g.CSR()
+	nbrRep := make([]int64, len(csr.PortTo))
+	nbrComplete := make([]bool, len(csr.PortTo))
+	siSame := make([]bool, len(csr.PortTo))
+	cand := make([]congest.Val, n)
+	chosen := make([]int, n)
+	newRep := make([]congest.Val, n)
+	ones := make([]congest.Val, n)
+	for v := range ones {
+		ones[v] = congest.Val{A: 1}
+	}
 	for iter := 0; ; iter++ {
 		if iter > maxIters {
 			return nil, fmt.Errorf("subpart: Algorithm 6 did not converge in %d iterations", maxIters)
 		}
 		// Refresh neighbor knowledge: (rep ID, completeness) per port.
-		nbrRep, nbrComplete, err := exchangeSubInfo(net, div, complete, maxRounds)
-		if err != nil {
+		if err := exchangeSubInfo(net, div, complete, nbrRep, nbrComplete, maxRounds); err != nil {
 			return nil, err
 		}
 		// Candidate out-edges for incomplete sub-parts: same part, different
 		// sub-part; prefer incomplete targets (class 0) over complete ones
 		// (class 1). Each sub-part picks the minimum (class, ID, port).
-		cand := make([]congest.Val, n)
 		hasAny := false
 		for v := 0; v < n; v++ {
 			cand[v] = congest.Val{A: 1 << 62}
 			if complete[v] || pb.Covered[v] {
 				continue
 			}
-			for q := 0; q < g.Degree(v); q++ {
-				if !in.SamePart[v][q] || nbrRep[v][q] == div.RepID[v] {
+			same := in.SameRow(v)
+			row := csr.RowStart[v]
+			for q := range same {
+				if !same[q] || nbrRep[row+int32(q)] == div.RepID[v] {
 					continue
 				}
 				class := int64(0)
-				if nbrComplete[v][q] {
+				if nbrComplete[row+int32(q)] {
 					class = 1
 				}
 				val := congest.Val{A: class*(1<<50) + net.ID(v), B: int64(q)}
@@ -95,7 +110,6 @@ func DeterministicDivision(net *congest.Network, in *part.Info, pb *part.BFS, d 
 		if err != nil {
 			return nil, err
 		}
-		chosen := make([]int, n)
 		for v := 0; v < n; v++ {
 			chosen[v] = -1
 			if mins[v].A != 1<<62 && mins[v].A%(1<<50) == net.ID(v) {
@@ -104,8 +118,10 @@ func DeterministicDivision(net *congest.Network, in *part.Info, pb *part.BFS, d 
 		}
 
 		// Star joining over the sub-parts.
+		div.sameSubOrSelfInto(siSame, net, in)
 		si := &part.Info{
-			SamePart: div.SameSubOrSelf(net, in),
+			Row:      csr.RowStart,
+			SamePart: siSame,
 			LeaderID: div.RepID,
 			IsLeader: div.IsRep,
 			Dense:    denseFromReps(net, div),
@@ -117,8 +133,7 @@ func DeterministicDivision(net *congest.Network, in *part.Info, pb *part.BFS, d 
 
 		// Joiner endpoints query the receiver's rep ID across the chosen
 		// edge (no structural change yet).
-		newRep, err := attachRound(net, chosen, div, sj, maxRounds)
-		if err != nil {
+		if err := attachRound(net, chosen, div, sj, newRep, maxRounds); err != nil {
 			return nil, err
 		}
 		// Spread the adopted rep ID over the OLD joiner trees while they
@@ -140,10 +155,6 @@ func DeterministicDivision(net *congest.Network, in *part.Info, pb *part.BFS, d 
 		}
 		// Completeness: sub-part size >= d freezes it (joiners now count
 		// within their receiver's tree).
-		ones := make([]congest.Val, n)
-		for v := range ones {
-			ones[v] = congest.Val{A: 1}
-		}
 		sizes, err := fa.Aggregate(ones, congest.SumPair)
 		if err != nil {
 			return nil, err
@@ -165,24 +176,22 @@ func DeterministicDivision(net *congest.Network, in *part.Info, pb *part.BFS, d 
 	return div, nil
 }
 
-// SameSubOrSelf derives per-port same-sub-part flags from current rep IDs
-// for the star joining's partition view (engine-side convenience; the
-// protocol equivalent is the exchange in exchangeSubInfo).
-func (div *Division) SameSubOrSelf(net *congest.Network, in *part.Info) [][]bool {
+// sameSubOrSelfInto derives per-port same-sub-part flags from current rep
+// IDs into a caller-owned flat buffer (the part.Info.SamePart shape), for
+// the star joining's partition view (engine-side convenience; the protocol
+// equivalent is the exchange in exchangeSubInfo).
+func (div *Division) sameSubOrSelfInto(out []bool, net *congest.Network, in *part.Info) {
 	g := net.Graph()
 	n := g.N()
-	out := make([][]bool, n)
 	for v := 0; v < n; v++ {
-		out[v] = make([]bool, g.Degree(v))
-		row := out[v]
+		row := out[div.Row[v]:div.Row[v+1]]
 		rep := div.RepID[v]
-		same := in.SamePart[v]
+		same := in.SameRow(v)
 		g.ForPorts(v, func(q, to, _ int) bool {
 			row[q] = same[q] && div.RepID[to] == rep
 			return true
 		})
 	}
-	return out
 }
 
 // denseFromReps labels sub-parts densely (engine-side diagnostics).
@@ -201,17 +210,17 @@ func denseFromReps(net *congest.Network, div *Division) []int {
 	return out
 }
 
-// exchangeSubInfo: one round announcing (rep ID, completeness) on all ports.
-func exchangeSubInfo(net *congest.Network, div *Division, complete []bool, maxRounds int64) ([][]int64, [][]bool, error) {
+// exchangeSubInfo: one round announcing (rep ID, completeness) on all
+// ports, into flat CSR-offset buffers (every node broadcasts, so every
+// entry of both buffers is rewritten — callers may reuse them uncleaned).
+func exchangeSubInfo(net *congest.Network, div *Division, complete []bool,
+	nbrRep []int64, nbrComplete []bool, maxRounds int64) error {
 	n := net.N()
-	g := net.Graph()
-	nbrRep := make([][]int64, n)
-	nbrComplete := make([][]bool, n)
-	procs := make([]congest.Proc, n)
+	procs := net.Scratch().Procs(n)
 	for v := 0; v < n; v++ {
 		v := v
-		nbrRep[v] = make([]int64, g.Degree(v))
-		nbrComplete[v] = make([]bool, g.Degree(v))
+		repRow := nbrRep[div.Row[v]:div.Row[v+1]]
+		compRow := nbrComplete[div.Row[v]:div.Row[v+1]]
 		procs[v] = congest.ProcFunc(func(ctx *congest.Ctx) bool {
 			if ctx.Round() == 0 {
 				flag := int64(0)
@@ -220,50 +229,47 @@ func exchangeSubInfo(net *congest.Network, div *Division, complete []bool, maxRo
 				}
 				ctx.Broadcast(congest.Message{Kind: kindSubInfo, A: div.RepID[v], B: flag})
 			}
-			for _, m := range ctx.Recv() {
-				nbrRep[v][m.Port] = m.Msg.A
-				nbrComplete[v][m.Port] = m.Msg.B != 0
-			}
+			ctx.ForRecv(func(_ int, m congest.Incoming) {
+				repRow[m.Port] = m.Msg.A
+				compRow[m.Port] = m.Msg.B != 0
+			})
 			return false
 		})
 	}
-	if _, err := net.Run("subpart/subinfo", procs, maxRounds); err != nil {
-		return nil, nil, err
-	}
-	return nbrRep, nbrComplete, nil
+	_, err := net.Run("subpart/subinfo", procs, maxRounds)
+	return err
 }
 
 // attachRound: joiner endpoints query the far side's rep ID over the
-// chosen edge. Returns the per-node adopted-rep values (negInf where not an
-// endpoint). Purely informational — tree surgery happens in rerootJoiners.
-func attachRound(net *congest.Network, chosen []int, div *Division, sj *StarJoinResult, maxRounds int64) ([]congest.Val, error) {
+// chosen edge, filling newRep with the per-node adopted-rep values (negInf
+// where not an endpoint). Purely informational — tree surgery happens in
+// rerootJoiners.
+func attachRound(net *congest.Network, chosen []int, div *Division, sj *StarJoinResult,
+	newRep []congest.Val, maxRounds int64) error {
 	n := net.N()
-	newRep := make([]congest.Val, n)
 	for v := range newRep {
 		newRep[v] = congest.Val{A: negInf}
 	}
-	procs := make([]congest.Proc, n)
+	procs := net.Scratch().Procs(n)
 	for v := 0; v < n; v++ {
 		v := v
 		procs[v] = congest.ProcFunc(func(ctx *congest.Ctx) bool {
 			if ctx.Round() == 0 && sj.Role[v] == RoleJoiner && chosen[v] >= 0 {
 				ctx.Send(chosen[v], congest.Message{Kind: kindAttach})
 			}
-			for _, m := range ctx.Recv() {
+			ctx.ForRecv(func(_ int, m congest.Incoming) {
 				switch m.Msg.Kind {
 				case kindAttach:
 					ctx.Send(m.Port, congest.Message{Kind: kindAttachAck, A: div.RepID[v]})
 				case kindAttachAck:
 					newRep[v] = congest.Val{A: m.Msg.A}
 				}
-			}
+			})
 			return false
 		})
 	}
-	if _, err := net.Run("subpart/attach", procs, maxRounds); err != nil {
-		return nil, err
-	}
-	return newRep, nil
+	_, err := net.Run("subpart/attach", procs, maxRounds)
+	return err
 }
 
 // rerootJoiners re-roots each joiner sub-part's tree at its attachment
@@ -272,7 +278,7 @@ func attachRound(net *congest.Network, chosen []int, div *Division, sj *StarJoin
 // registers the endpoint as a child on the receiver side (ATTACH).
 func rerootJoiners(net *congest.Network, div *Division, chosen []int, sj *StarJoinResult, maxRounds int64) error {
 	n := net.N()
-	procs := make([]congest.Proc, n)
+	procs := net.Scratch().Procs(n)
 	for v := 0; v < n; v++ {
 		v := v
 		procs[v] = congest.ProcFunc(func(ctx *congest.Ctx) bool {
@@ -289,7 +295,7 @@ func rerootJoiners(net *congest.Network, div *Division, chosen []int, sj *StarJo
 				ctx.Send(chosen[v], congest.Message{Kind: kindAttach})
 				flip(chosen[v])
 			}
-			for _, m := range ctx.Recv() {
+			ctx.ForRecv(func(_ int, m congest.Incoming) {
 				switch m.Msg.Kind {
 				case kindAttach:
 					// A joiner endpoint hangs below me now.
@@ -300,7 +306,7 @@ func rerootJoiners(net *congest.Network, div *Division, chosen []int, sj *StarJo
 					div.ChildPorts[v] = removePort(div.ChildPorts[v], m.Port)
 					flip(m.Port)
 				}
-			}
+			})
 			return false
 		})
 	}
@@ -311,7 +317,7 @@ func rerootJoiners(net *congest.Network, div *Division, chosen []int, sj *StarJo
 // computeDepths broadcasts depths down the final sub-part trees.
 func computeDepths(net *congest.Network, div *Division, maxRounds int64) error {
 	n := net.N()
-	procs := make([]congest.Proc, n)
+	procs := net.Scratch().Procs(n)
 	for v := 0; v < n; v++ {
 		v := v
 		procs[v] = congest.ProcFunc(func(ctx *congest.Ctx) bool {
@@ -324,9 +330,9 @@ func computeDepths(net *congest.Network, div *Division, maxRounds int64) error {
 			if ctx.Round() == 0 && div.IsRep[v] {
 				down(0)
 			}
-			for _, m := range ctx.Recv() {
+			ctx.ForRecv(func(_ int, m congest.Incoming) {
 				down(m.Msg.A)
-			}
+			})
 			return false
 		})
 	}

@@ -1,13 +1,3 @@
-// Package subpart implements the paper's sub-part divisions (Definition 4.1)
-// and the machinery for computing them: the randomized sampling division
-// (Algorithm 3), star joinings (Definition 6.1 / Algorithm 5, randomized and
-// deterministic via Cole–Vishkin), and the deterministic division
-// (Algorithm 6).
-//
-// A sub-part division refines each part into Õ(|P_i|/D) sub-parts, each with
-// a spanning tree of diameter O(D) rooted at a designated representative.
-// Only representatives may inject messages into shortcuts, which is the
-// paper's key device for message-optimality (Section 3.2).
 package subpart
 
 import (
@@ -25,26 +15,38 @@ const (
 	kindRepExchange
 )
 
-// Division is a sub-part division as local knowledge: entry v of each slice
-// belongs to node v.
+// Division is a sub-part division as local knowledge: entry v of each
+// per-node slice belongs to node v; SameSub is flat over the CSR offsets.
 type Division struct {
 	RepID      []int64 // ID of v's sub-part representative
 	IsRep      []bool
 	ParentPort []int // toward the representative within the sub-part tree; -1 at the rep
 	ChildPorts [][]int
-	WholePart  []bool   // v's part is one sub-part (the covered / small-part branch)
-	SameSub    [][]bool // per port: neighbor is in the same sub-part
-	Depth      []int    // hop distance to the representative along the sub-part tree
+	WholePart  []bool // v's part is one sub-part (the covered / small-part branch)
+	// Row/SameSub mirror part.Info's flat layout: SameSub[Row[v]+q] reports
+	// whether the neighbor behind port q of node v is in the same sub-part.
+	Row     []int32
+	SameSub []bool
+	Depth   []int // hop distance to the representative along the sub-part tree
 }
 
-func newDivision(n int) *Division {
+// SameSubAt reports whether port q of node v stays inside v's sub-part.
+func (d *Division) SameSubAt(v, q int) bool { return d.SameSub[d.Row[v]+int32(q)] }
+
+// SameSubRow returns node v's per-port window of the flat SameSub array.
+func (d *Division) SameSubRow(v int) []bool { return d.SameSub[d.Row[v]:d.Row[v+1]] }
+
+func newDivision(net *congest.Network) *Division {
+	n := net.N()
+	csr := net.Graph().CSR()
 	d := &Division{
 		RepID:      make([]int64, n),
 		IsRep:      make([]bool, n),
 		ParentPort: make([]int, n),
 		ChildPorts: make([][]int, n),
 		WholePart:  make([]bool, n),
-		SameSub:    make([][]bool, n),
+		Row:        csr.RowStart,
+		SameSub:    make([]bool, len(csr.PortTo)),
 		Depth:      make([]int, n),
 	}
 	for v := range d.ParentPort {
@@ -68,7 +70,7 @@ func RandomDivision(net *congest.Network, in *part.Info, pb *part.BFS, d int64, 
 	if d < 1 {
 		d = 1
 	}
-	div := newDivision(n)
+	div := newDivision(net)
 
 	// Covered parts: adopt the part BFS tree wholesale.
 	for v := 0; v < n; v++ {
@@ -86,7 +88,7 @@ func RandomDivision(net *congest.Network, in *part.Info, pb *part.BFS, d int64, 
 	// min{1, log n / D}; the singleton fallback below covers the 1/poly(n)
 	// failure probability unconditionally.
 	prob := math.Min(1, math.Log(float64(n)+2)/float64(d))
-	procs := make([]congest.Proc, n)
+	procs := net.Scratch().Procs(n)
 	for v := 0; v < n; v++ {
 		procs[v] = &waveProc{net: net, in: in, div: div, covered: pb.Covered[v], v: v, d: d, prob: prob}
 	}
@@ -127,12 +129,13 @@ func (w *waveProc) Step(ctx *congest.Ctx) bool {
 		return false
 	}
 	div, v := w.div, w.v
+	same := w.in.SameRow(v)
 	forward := func(depth int64) {
 		if depth >= w.d {
 			return
 		}
-		for q := 0; q < ctx.Degree(); q++ {
-			if w.in.SamePart[v][q] && q != div.ParentPort[v] && ctx.CanSend(q) {
+		for q, ok := range same {
+			if ok && q != div.ParentPort[v] && ctx.CanSend(q) {
 				ctx.Send(q, congest.Message{Kind: kindClaim, A: div.RepID[v], B: depth + 1})
 			}
 		}
@@ -144,11 +147,11 @@ func (w *waveProc) Step(ctx *congest.Ctx) bool {
 		div.Depth[v] = 0
 		forward(0)
 	}
-	for _, m := range ctx.Recv() {
+	ctx.ForRecv(func(_ int, m congest.Incoming) {
 		switch m.Msg.Kind {
 		case kindClaim:
 			if w.claimed {
-				continue
+				return
 			}
 			w.claimed = true
 			div.RepID[v] = m.Msg.A
@@ -159,7 +162,7 @@ func (w *waveProc) Step(ctx *congest.Ctx) bool {
 		case kindChild:
 			div.ChildPorts[v] = append(div.ChildPorts[v], m.Port)
 		}
-	}
+	})
 	return false
 }
 
@@ -169,21 +172,22 @@ func (w *waveProc) Step(ctx *congest.Ctx) bool {
 // One round, O(Σ_i m_i) messages.
 func exchangeReps(net *congest.Network, in *part.Info, div *Division, maxRounds int64) error {
 	n := net.N()
-	procs := make([]congest.Proc, n)
+	procs := net.Scratch().Procs(n)
 	for v := 0; v < n; v++ {
 		v := v
-		div.SameSub[v] = make([]bool, net.Graph().Degree(v))
+		subRow := div.SameSubRow(v)
+		same := in.SameRow(v)
 		procs[v] = congest.ProcFunc(func(ctx *congest.Ctx) bool {
 			if ctx.Round() == 0 {
-				for q := 0; q < ctx.Degree(); q++ {
-					if in.SamePart[v][q] {
+				for q, ok := range same {
+					if ok {
 						ctx.Send(q, congest.Message{Kind: kindRepExchange, A: div.RepID[v]})
 					}
 				}
 			}
-			for _, m := range ctx.Recv() {
-				div.SameSub[v][m.Port] = m.Msg.A == div.RepID[v]
-			}
+			ctx.ForRecv(func(_ int, m congest.Incoming) {
+				subRow[m.Port] = m.Msg.A == div.RepID[v]
+			})
 			return false
 		})
 	}
@@ -241,8 +245,8 @@ func (div *Division) Validate(net *congest.Network, in *part.Info, maxDepth int)
 		var mismatch error
 		g.ForPorts(v, func(q, u, _ int) bool {
 			want := in.Dense[u] == in.Dense[v] && div.RepID[u] == div.RepID[v]
-			if in.Dense[u] == in.Dense[v] && div.SameSub[v][q] != want {
-				mismatch = fmt.Errorf("subpart: SameSub[%d][%d]=%v, want %v", v, q, div.SameSub[v][q], want)
+			if in.Dense[u] == in.Dense[v] && div.SameSubAt(v, q) != want {
+				mismatch = fmt.Errorf("subpart: SameSub[%d][%d]=%v, want %v", v, q, div.SameSubAt(v, q), want)
 				return false
 			}
 			return true

@@ -1,0 +1,11 @@
+// Package subpart implements the paper's sub-part divisions (Definition 4.1)
+// and the machinery for computing them: the randomized sampling division
+// (Algorithm 3), star joinings (Definition 6.1 / Algorithm 5, randomized and
+// deterministic via Cole–Vishkin), and the deterministic division
+// (Algorithm 6).
+//
+// A sub-part division refines each part into Õ(|P_i|/D) sub-parts, each with
+// a spanning tree of diameter O(D) rooted at a designated representative.
+// Only representatives may inject messages into shortcuts, which is the
+// paper's key device for message-optimality (Section 3.2).
+package subpart

@@ -28,9 +28,11 @@ const (
 func (fa *ForestAgg) Aggregate(vals []congest.Val, f congest.Combine) ([]congest.Val, error) {
 	n := fa.Net.N()
 	out := make([]congest.Val, n)
-	procs := make([]congest.Proc, n)
+	procs := fa.Net.Scratch().Procs(n)
+	impls := make([]forestAggProc, n) // one backing array, not n tiny allocs
 	for v := 0; v < n; v++ {
-		procs[v] = &forestAggProc{div: fa.Div, f: f, v: v, acc: vals[v], out: out}
+		impls[v] = forestAggProc{div: fa.Div, f: f, v: v, acc: vals[v], out: out}
+		procs[v] = &impls[v]
 	}
 	if _, err := fa.Net.Run("subpart/forest-agg", procs, fa.Budget); err != nil {
 		return nil, err
@@ -53,7 +55,7 @@ func (p *forestAggProc) Step(ctx *congest.Ctx) bool {
 	if ctx.Round() == 0 {
 		p.waiting = len(div.ChildPorts[v])
 	}
-	for _, m := range ctx.Recv() {
+	ctx.ForRecv(func(_ int, m congest.Incoming) {
 		switch m.Msg.Kind {
 		case kindForestUp:
 			p.acc = p.f(p.acc, congest.Val{A: m.Msg.A, B: m.Msg.B})
@@ -64,7 +66,7 @@ func (p *forestAggProc) Step(ctx *congest.Ctx) bool {
 				ctx.Send(q, m.Msg)
 			}
 		}
-	}
+	})
 	if p.waiting == 0 && !p.fired {
 		p.fired = true
 		if pp := div.ParentPort[v]; pp >= 0 {

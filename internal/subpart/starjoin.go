@@ -55,7 +55,10 @@ const (
 	kindBack
 )
 
-// exchange state per node for the cross-edge protocol.
+// exchange state per node for the cross-edge protocol, plus the
+// call-lifetime scratch the joining's O(log* n) exchange iterations reuse
+// (each helper fully rewrites every entry before the round that reads it,
+// so reuse cannot leak state between iterations).
 type joinState struct {
 	in         *part.Info
 	chosenPort []int
@@ -67,6 +70,13 @@ type joinState struct {
 	backFlags []int64
 	havePred  []bool
 	predColor []int64 // latest pred color forwarded to v over a pointed port
+
+	// Reused per-iteration buffers (see deterministicResidue / cvStep /
+	// reduceColor / colorPhase / randomizedFlips).
+	color   []int64
+	flags   []int64
+	sendFwd []bool
+	valBuf  []congest.Val
 }
 
 // flag bits carried in kindBack replies.
@@ -91,6 +101,10 @@ func StarJoin(net *congest.Network, in *part.Info, chosenPort []int, agg Agg, de
 		backFlags:    make([]int64, n),
 		havePred:     make([]bool, n),
 		predColor:    make([]int64, n),
+		color:        make([]int64, n),
+		flags:        make([]int64, n),
+		sendFwd:      make([]bool, n),
+		valBuf:       make([]congest.Val, n),
 	}
 	res := &StarJoinResult{Role: make([]Role, n)}
 
@@ -100,24 +114,23 @@ func StarJoin(net *congest.Network, in *part.Info, chosenPort []int, agg Agg, de
 	}
 
 	// Stage 1: in-degree count; delta >= 2 parts become receivers.
-	inDeg := make([]congest.Val, n)
 	for v := 0; v < n; v++ {
-		inDeg[v] = congest.Val{A: int64(len(st.pointedPorts[v]))}
+		st.valBuf[v] = congest.Val{A: int64(len(st.pointedPorts[v]))}
 	}
-	degs, err := agg.Aggregate(inDeg, congest.SumPair)
+	degs, err := agg.Aggregate(st.valBuf, congest.SumPair)
 	if err != nil {
 		return nil, err
 	}
 	// A part without a chosen edge can never join, only be joined: make it
 	// a permanent receiver so parts pointing at it are not starved (the
 	// Algorithm 6 case where incomplete sub-parts point at complete ones).
-	hasEdgeVals := make([]congest.Val, n)
 	for v := 0; v < n; v++ {
+		st.valBuf[v] = congest.Val{}
 		if chosenPort[v] >= 0 {
-			hasEdgeVals[v] = congest.Val{A: 1}
+			st.valBuf[v] = congest.Val{A: 1}
 		}
 	}
-	hasEdge, err := agg.Aggregate(hasEdgeVals, congest.OrPair)
+	hasEdge, err := agg.Aggregate(st.valBuf, congest.OrPair)
 	if err != nil {
 		return nil, err
 	}
@@ -142,16 +155,16 @@ func StarJoin(net *congest.Network, in *part.Info, chosenPort []int, agg Agg, de
 // far endpoint records the port.
 func (st *joinState) pointRound(net *congest.Network, maxRounds int64) error {
 	n := net.N()
-	procs := make([]congest.Proc, n)
+	procs := net.Scratch().Procs(n)
 	for v := 0; v < n; v++ {
 		v := v
 		procs[v] = congest.ProcFunc(func(ctx *congest.Ctx) bool {
 			if ctx.Round() == 0 && st.chosenPort[v] >= 0 {
 				ctx.Send(st.chosenPort[v], congest.Message{Kind: kindPoint})
 			}
-			for _, m := range ctx.Recv() {
+			ctx.ForRecv(func(_ int, m congest.Incoming) {
 				st.pointedPorts[v] = append(st.pointedPorts[v], m.Port)
-			}
+			})
 			return false
 		})
 	}
@@ -163,8 +176,9 @@ func (st *joinState) pointRound(net *congest.Network, maxRounds int64) error {
 // chosen port; every pointed node replies (BACK, partColor, partFlags) over
 // the ports that forwarded this round. After the round, each endpoint
 // holds its successor part's color/flags, and each pointed node the
-// predecessor's.
-func (st *joinState) exchangeRound(net *congest.Network, color []int64, flags []int64, sendFwd []bool, maxRounds int64) error {
+// predecessor's. Reads st.color/st.flags/st.sendFwd, which the caller must
+// have fully (re)written.
+func (st *joinState) exchangeRound(net *congest.Network, maxRounds int64) error {
 	n := net.N()
 	// Clear stale exchange results: replies arrive only for this round's
 	// forwards.
@@ -172,24 +186,24 @@ func (st *joinState) exchangeRound(net *congest.Network, color []int64, flags []
 		st.backColor[v], st.backFlags[v] = 0, 0
 		st.havePred[v], st.predColor[v] = false, 0
 	}
-	procs := make([]congest.Proc, n)
+	procs := net.Scratch().Procs(n)
 	for v := 0; v < n; v++ {
 		v := v
 		procs[v] = congest.ProcFunc(func(ctx *congest.Ctx) bool {
-			if ctx.Round() == 0 && st.chosenPort[v] >= 0 && sendFwd[v] {
-				ctx.Send(st.chosenPort[v], congest.Message{Kind: kindForward, A: color[v], B: flags[v]})
+			if ctx.Round() == 0 && st.chosenPort[v] >= 0 && st.sendFwd[v] {
+				ctx.Send(st.chosenPort[v], congest.Message{Kind: kindForward, A: st.color[v], B: st.flags[v]})
 			}
-			for _, m := range ctx.Recv() {
+			ctx.ForRecv(func(_ int, m congest.Incoming) {
 				switch m.Msg.Kind {
 				case kindForward:
 					st.havePred[v] = true
 					st.predColor[v] = m.Msg.A
-					ctx.Send(m.Port, congest.Message{Kind: kindBack, A: color[v], B: flags[v]})
+					ctx.Send(m.Port, congest.Message{Kind: kindBack, A: st.color[v], B: st.flags[v]})
 				case kindBack:
 					st.backColor[v] = m.Msg.A
 					st.backFlags[v] = m.Msg.B
 				}
-			}
+			})
 			return false
 		})
 	}
@@ -199,16 +213,15 @@ func (st *joinState) exchangeRound(net *congest.Network, color []int64, flags []
 
 // spreadFromEndpoint distributes a value known at the chosen endpoint to the
 // whole part via one aggregation (everyone else contributes the identity).
-func spreadFromEndpoint(agg Agg, n int, has func(v int) bool, val func(v int) congest.Val) ([]congest.Val, error) {
-	vals := make([]congest.Val, n)
+func (st *joinState) spreadFromEndpoint(agg Agg, n int, has func(v int) bool, val func(v int) congest.Val) ([]congest.Val, error) {
 	for v := 0; v < n; v++ {
 		if has(v) {
-			vals[v] = val(v)
+			st.valBuf[v] = val(v)
 		} else {
-			vals[v] = congest.Val{A: -1 << 62}
+			st.valBuf[v] = congest.Val{A: -1 << 62}
 		}
 	}
-	return agg.Aggregate(vals, congest.MaxPair)
+	return agg.Aggregate(st.valBuf, congest.MaxPair)
 }
 
 // randomizedFlips implements the coin-flip star joining: every part leader
@@ -218,15 +231,14 @@ func (st *joinState) randomizedFlips(net *congest.Network, in *part.Info, agg Ag
 	res *StarJoinResult, nonce int64, maxRounds int64) error {
 	n := net.N()
 	// Leader flips ride an aggregation to all members.
-	flips := make([]congest.Val, n)
 	for v := 0; v < n; v++ {
 		if in.IsLeader[v] {
-			flips[v] = congest.Val{A: rngBit(net, v, nonce)}
+			st.valBuf[v] = congest.Val{A: rngBit(net, v, nonce)}
 		} else {
-			flips[v] = congest.Val{A: -1}
+			st.valBuf[v] = congest.Val{A: -1}
 		}
 	}
-	got, err := agg.Aggregate(flips, congest.MaxPair)
+	got, err := agg.Aggregate(st.valBuf, congest.MaxPair)
 	if err != nil {
 		return err
 	}
@@ -236,20 +248,19 @@ func (st *joinState) randomizedFlips(net *congest.Network, in *part.Info, agg Ag
 	}
 	// Heads or high-in-degree parts receive; they are announced over the
 	// chosen edges, and tails parts pointing at them join.
-	color := make([]int64, n)
-	flags := make([]int64, n)
-	sendFwd := make([]bool, n)
 	for v := 0; v < n; v++ {
+		st.color[v] = 0
+		st.flags[v] = 0
 		if heads[v] || recvByDeg[v] {
-			flags[v] = flagReceiver
+			st.flags[v] = flagReceiver
 		}
-		sendFwd[v] = !heads[v] && !recvByDeg[v] // only potential joiners ask
+		st.sendFwd[v] = !heads[v] && !recvByDeg[v] // only potential joiners ask
 	}
-	if err := st.exchangeRound(net, color, flags, sendFwd, maxRounds); err != nil {
+	if err := st.exchangeRound(net, maxRounds); err != nil {
 		return err
 	}
 	// Endpoint learned whether its target receives; spread part-wide.
-	joins, err := spreadFromEndpoint(agg, n, func(v int) bool { return st.chosenPort[v] >= 0 }, func(v int) congest.Val {
+	joins, err := st.spreadFromEndpoint(agg, n, func(v int) bool { return st.chosenPort[v] >= 0 }, func(v int) congest.Val {
 		if st.backFlags[v]&flagReceiver != 0 && !heads[v] && !recvByDeg[v] {
 			return congest.Val{A: 1}
 		}
@@ -291,21 +302,20 @@ func (st *joinState) deterministicResidue(net *congest.Network, in *part.Info, a
 	res *StarJoinResult, maxRounds int64) error {
 	n := net.N()
 	active := make([]bool, n) // part still in the residual super-graph
-	color := make([]int64, n)
-	flags := make([]int64, n)
-	sendFwd := make([]bool, n)
 
 	// Round A: receivers-by-degree announce; pointers at them join.
 	for v := 0; v < n; v++ {
+		st.color[v] = 0
+		st.flags[v] = 0
 		if recvByDeg[v] {
-			flags[v] = flagReceiver
+			st.flags[v] = flagReceiver
 		}
-		sendFwd[v] = !recvByDeg[v]
+		st.sendFwd[v] = !recvByDeg[v]
 	}
-	if err := st.exchangeRound(net, color, flags, sendFwd, maxRounds); err != nil {
+	if err := st.exchangeRound(net, maxRounds); err != nil {
 		return err
 	}
-	joins, err := spreadFromEndpoint(agg, n, func(v int) bool { return st.chosenPort[v] >= 0 }, func(v int) congest.Val {
+	joins, err := st.spreadFromEndpoint(agg, n, func(v int) bool { return st.chosenPort[v] >= 0 }, func(v int) congest.Val {
 		if st.backFlags[v]&flagReceiver != 0 && !recvByDeg[v] {
 			return congest.Val{A: 1}
 		}
@@ -323,32 +333,32 @@ func (st *joinState) deterministicResidue(net *congest.Network, in *part.Info, a
 		default:
 			active[v] = true
 		}
-		color[v] = in.LeaderID[v] // initial CV colors: leader IDs
+		st.color[v] = in.LeaderID[v] // initial CV colors: leader IDs
 	}
 
 	// Cole-Vishkin iterations until colors fit in {0..5}, then 6 -> 3.
 	for iter := 0; iter < 8; iter++ {
 		maxColor := int64(0)
 		for v := 0; v < n; v++ {
-			if active[v] && color[v] > maxColor {
-				maxColor = color[v]
+			if active[v] && st.color[v] > maxColor {
+				maxColor = st.color[v]
 			}
 		}
 		if maxColor < 6 {
 			break
 		}
-		if err := st.cvStep(net, agg, active, color, maxRounds); err != nil {
+		if err := st.cvStep(net, agg, active, maxRounds); err != nil {
 			return err
 		}
 	}
 	for c := int64(5); c >= 3; c-- {
-		if err := st.reduceColor(net, agg, active, color, c, maxRounds); err != nil {
+		if err := st.reduceColor(net, agg, active, c, maxRounds); err != nil {
 			return err
 		}
 	}
 	// Color classes 0,1,2 become receivers in turn; their pointers join.
 	for c := int64(0); c <= 2; c++ {
-		if err := st.colorPhase(net, agg, active, color, c, res, maxRounds); err != nil {
+		if err := st.colorPhase(net, agg, active, c, res, maxRounds); err != nil {
 			return err
 		}
 	}
@@ -356,36 +366,36 @@ func (st *joinState) deterministicResidue(net *congest.Network, in *part.Info, a
 }
 
 // cvStep: one Cole-Vishkin color reduction across the residual super-graph.
-func (st *joinState) cvStep(net *congest.Network, agg Agg, active []bool, color []int64, maxRounds int64) error {
+// st.color is both input and output.
+func (st *joinState) cvStep(net *congest.Network, agg Agg, active []bool, maxRounds int64) error {
 	n := net.N()
-	flags := make([]int64, n)
-	sendFwd := make([]bool, n)
 	for v := 0; v < n; v++ {
+		st.flags[v] = 0
 		if active[v] {
-			flags[v] = flagActive
+			st.flags[v] = flagActive
 		}
-		sendFwd[v] = active[v]
+		st.sendFwd[v] = active[v]
 	}
-	if err := st.exchangeRound(net, color, flags, sendFwd, maxRounds); err != nil {
+	if err := st.exchangeRound(net, maxRounds); err != nil {
 		return err
 	}
 	// Endpoint now holds the successor's color (if the successor is still
 	// active); compute the new color at the endpoint and spread it.
-	newColors, err := spreadFromEndpoint(agg, n, func(v int) bool {
+	newColors, err := st.spreadFromEndpoint(agg, n, func(v int) bool {
 		return st.chosenPort[v] >= 0
 	}, func(v int) congest.Val {
-		succ := color[v] + 1 // pseudo-successor for dangling tails
+		succ := st.color[v] + 1 // pseudo-successor for dangling tails
 		if st.backFlags[v]&flagActive != 0 {
 			succ = st.backColor[v]
 		}
-		return congest.Val{A: cvCombine(color[v], succ)}
+		return congest.Val{A: cvCombine(st.color[v], succ)}
 	})
 	if err != nil {
 		return err
 	}
 	for v := 0; v < n; v++ {
 		if active[v] && newColors[v].A >= 0 {
-			color[v] = newColors[v].A
+			st.color[v] = newColors[v].A
 		}
 	}
 	return nil
@@ -408,22 +418,20 @@ func cvCombine(own, succ int64) int64 {
 
 // reduceColor removes color class c (c in {3,4,5}): parts colored c recolor
 // to the smallest of {0,1,2} used by neither neighbor.
-func (st *joinState) reduceColor(net *congest.Network, agg Agg, active []bool, color []int64, c int64, maxRounds int64) error {
+func (st *joinState) reduceColor(net *congest.Network, agg Agg, active []bool, c int64, maxRounds int64) error {
 	n := net.N()
-	flags := make([]int64, n)
-	sendFwd := make([]bool, n)
 	for v := 0; v < n; v++ {
+		st.flags[v] = 0
 		if active[v] {
-			flags[v] = flagActive
+			st.flags[v] = flagActive
 		}
-		sendFwd[v] = active[v]
+		st.sendFwd[v] = active[v]
 	}
-	if err := st.exchangeRound(net, color, flags, sendFwd, maxRounds); err != nil {
+	if err := st.exchangeRound(net, maxRounds); err != nil {
 		return err
 	}
 	// Successor color sits at the endpoint; predecessor color sits at the
 	// pointed node. Combine both through one aggregation (disjoint fields).
-	vals := make([]congest.Val, n)
 	for v := 0; v < n; v++ {
 		val := congest.Val{A: -1 << 62, B: -1 << 62}
 		if st.chosenPort[v] >= 0 && st.backFlags[v]&flagActive != 0 {
@@ -432,20 +440,20 @@ func (st *joinState) reduceColor(net *congest.Network, agg Agg, active []bool, c
 		if st.havePred[v] {
 			val.B = st.predColor[v]
 		}
-		vals[v] = val
+		st.valBuf[v] = val
 	}
-	got, err := agg.Aggregate(vals, congest.MaxPair)
+	got, err := agg.Aggregate(st.valBuf, congest.MaxPair)
 	if err != nil {
 		return err
 	}
 	for v := 0; v < n; v++ {
-		if !active[v] || color[v] != c {
+		if !active[v] || st.color[v] != c {
 			continue
 		}
 		succ, pred := got[v].A, got[v].B
 		for cand := int64(0); cand <= 2; cand++ {
 			if cand != succ && cand != pred {
-				color[v] = cand
+				st.color[v] = cand
 				break
 			}
 		}
@@ -455,22 +463,21 @@ func (st *joinState) reduceColor(net *congest.Network, agg Agg, active []bool, c
 
 // colorPhase makes color class c receivers and their active pointers
 // joiners, removing both from the residue.
-func (st *joinState) colorPhase(net *congest.Network, agg Agg, active []bool, color []int64, c int64,
+func (st *joinState) colorPhase(net *congest.Network, agg Agg, active []bool, c int64,
 	res *StarJoinResult, maxRounds int64) error {
 	n := net.N()
-	flags := make([]int64, n)
-	sendFwd := make([]bool, n)
 	for v := 0; v < n; v++ {
-		if active[v] && color[v] == c {
-			flags[v] = flagReceiver
+		st.flags[v] = 0
+		if active[v] && st.color[v] == c {
+			st.flags[v] = flagReceiver
 		}
-		sendFwd[v] = active[v] && color[v] != c
+		st.sendFwd[v] = active[v] && st.color[v] != c
 	}
-	if err := st.exchangeRound(net, color, flags, sendFwd, maxRounds); err != nil {
+	if err := st.exchangeRound(net, maxRounds); err != nil {
 		return err
 	}
-	joins, err := spreadFromEndpoint(agg, n, func(v int) bool { return st.chosenPort[v] >= 0 }, func(v int) congest.Val {
-		if active[v] && color[v] != c && st.backFlags[v]&flagReceiver != 0 {
+	joins, err := st.spreadFromEndpoint(agg, n, func(v int) bool { return st.chosenPort[v] >= 0 }, func(v int) congest.Val {
+		if active[v] && st.color[v] != c && st.backFlags[v]&flagReceiver != 0 {
 			return congest.Val{A: 1}
 		}
 		return congest.Val{A: 0}
@@ -483,7 +490,7 @@ func (st *joinState) colorPhase(net *congest.Network, agg Agg, active []bool, co
 			continue
 		}
 		switch {
-		case color[v] == c:
+		case st.color[v] == c:
 			res.Role[v] = RoleReceiver
 			active[v] = false
 		case joins[v].A == 1:

@@ -84,16 +84,16 @@ func DecomposeHeavyPaths(net *congest.Network, t *BFSTree, maxRounds int64) (*He
 	}
 
 	// Phase 2: tell the heavy child its parent edge is heavy.
-	procs := make([]congest.Proc, n)
+	procs := net.Scratch().Procs(n)
 	for v := 0; v < n; v++ {
 		v := v
 		procs[v] = congest.ProcFunc(func(ctx *congest.Ctx) bool {
 			if ctx.Round() == 0 && h.HeavyChildPort[v] >= 0 {
 				ctx.Send(h.HeavyChildPort[v], congest.Message{Kind: kindHeavyMark})
 			}
-			for range ctx.Recv() {
+			ctx.ForRecv(func(int, congest.Incoming) {
 				h.ParentHeavy[v] = true
-			}
+			})
 			return false
 		})
 	}
@@ -109,9 +109,13 @@ func DecomposeHeavyPaths(net *congest.Network, t *BFSTree, maxRounds int64) (*He
 	}
 
 	// Phase 4: number chains bottom-up: bottoms take index 1 and indices
-	// propagate up heavy edges.
+	// propagate up heavy edges. (procs shares runLevelConvergecast's arena
+	// buffer; that phase has completed.)
+	procs = net.Scratch().Procs(n)
+	idxImpls := make([]indexUpProc, n)
 	for v := 0; v < n; v++ {
-		procs[v] = &indexUpProc{t: t, h: h, v: v}
+		idxImpls[v] = indexUpProc{t: t, h: h, v: v}
+		procs[v] = &idxImpls[v]
 	}
 	if _, err := net.Run("tree/heavy-index", procs, maxRounds); err != nil {
 		return nil, err
@@ -129,14 +133,14 @@ func DecomposeHeavyPaths(net *congest.Network, t *BFSTree, maxRounds int64) (*He
 					ctx.Send(p, congest.Message{Kind: kindPathDown, A: h.TopID[v], B: h.Length[v], C: pl[v]})
 				}
 			}
-			for _, in := range ctx.Recv() {
+			ctx.ForRecv(func(_ int, in congest.Incoming) {
 				h.TopID[v] = in.Msg.A
 				h.Length[v] = in.Msg.B
 				h.Level[v] = int(in.Msg.C)
 				if p := h.HeavyChildPort[v]; p >= 0 {
 					ctx.Send(p, in.Msg)
 				}
-			}
+			})
 			return false
 		})
 	}
@@ -158,13 +162,13 @@ func DecomposeHeavyPaths(net *congest.Network, t *BFSTree, maxRounds int64) (*He
 // runLevelConvergecast computes PL bottom-up with the +1-on-light-edges rule.
 func runLevelConvergecast(net *congest.Network, t *BFSTree, h *HeavyPaths, pl []int64, maxRounds int64) error {
 	n := net.N()
-	procs := make([]congest.Proc, n)
+	procs := net.Scratch().Procs(n)
 	waiting := make([]int, n)
 	for v := 0; v < n; v++ {
 		v := v
 		waiting[v] = len(t.ChildPorts[v])
 		procs[v] = congest.ProcFunc(func(ctx *congest.Ctx) bool {
-			for _, in := range ctx.Recv() {
+			ctx.ForRecv(func(_ int, in congest.Incoming) {
 				child := in.Msg.A
 				if in.Port != h.HeavyChildPort[v] {
 					child++ // light in-edge: the hanging path sits one level below
@@ -173,7 +177,7 @@ func runLevelConvergecast(net *congest.Network, t *BFSTree, h *HeavyPaths, pl []
 					pl[v] = child
 				}
 				waiting[v]--
-			}
+			})
 			if waiting[v] == 0 {
 				waiting[v] = -1
 				if t.ParentPort[v] >= 0 {
@@ -206,11 +210,11 @@ func (p *indexUpProc) Step(ctx *congest.Ctx) bool {
 	if ctx.Round() == 0 && p.h.IsBottom(p.v) {
 		fire(1)
 	}
-	for _, in := range ctx.Recv() {
+	ctx.ForRecv(func(_ int, in congest.Incoming) {
 		if !p.fired {
 			fire(in.Msg.A + 1)
 		}
-	}
+	})
 	return false
 }
 

@@ -1,12 +1,3 @@
-// Package tree implements the rooted-spanning-tree substrate the paper
-// assumes (Section 2.2): leader election, BFS-tree construction, broadcast
-// and convergecast along the tree, subtree sizes, and the heavy-path
-// decomposition of Sleator–Tarjan [39] used by the deterministic shortcut
-// construction (Section 6.3).
-//
-// All of these run on the congest simulator as true message-passing
-// protocols; the structs returned hold only information that individual
-// nodes learned locally (each slice entry is the knowledge of that node).
 package tree
 
 import (
@@ -51,19 +42,20 @@ func (t *BFSTree) IsChildPort(v, p int) bool {
 // substrate [27] achieves Õ(m) worst-case; see DESIGN.md (substitutions).
 func ElectLeader(net *congest.Network, maxRounds int64) (int, error) {
 	n := net.N()
-	minID := make([]int64, n)
-	procs := make([]congest.Proc, n)
+	// Leaf-scoped arena use: minID is consumed before this function returns.
+	minID := net.Scratch().Int64s(n)
+	procs := net.Scratch().Procs(n)
 	for v := 0; v < n; v++ {
 		v := v
 		minID[v] = net.ID(v)
 		procs[v] = congest.ProcFunc(func(ctx *congest.Ctx) bool {
 			improved := ctx.Round() == 0
-			for _, in := range ctx.Recv() {
+			ctx.ForRecv(func(_ int, in congest.Incoming) {
 				if in.Msg.A < minID[v] {
 					minID[v] = in.Msg.A
 					improved = true
 				}
-			}
+			})
 			if improved {
 				ctx.Broadcast(congest.Message{Kind: kindElect, A: minID[v]})
 			}
@@ -102,11 +94,11 @@ func (b *bfsProc) Step(ctx *congest.Ctx) bool {
 		ctx.Broadcast(congest.Message{Kind: kindJoin, A: 0})
 		return false
 	}
-	for _, in := range ctx.Recv() {
+	ctx.ForRecv(func(_ int, in congest.Incoming) {
 		switch in.Msg.Kind {
 		case kindJoin:
 			if b.joined {
-				continue
+				return
 			}
 			b.joined = true
 			b.t.ParentPort[b.v] = in.Port
@@ -121,7 +113,7 @@ func (b *bfsProc) Step(ctx *congest.Ctx) bool {
 		case kindChild:
 			b.t.ChildPorts[b.v] = append(b.t.ChildPorts[b.v], in.Port)
 		}
-	}
+	})
 	return false
 }
 
@@ -136,11 +128,13 @@ func BuildBFS(net *congest.Network, root int, maxRounds int64) (*BFSTree, error)
 		Depth:      make([]int, n),
 		ChildPorts: make([][]int, n),
 	}
-	procs := make([]congest.Proc, n)
+	procs := net.Scratch().Procs(n)
+	impls := make([]bfsProc, n)
 	for v := 0; v < n; v++ {
 		t.ParentPort[v] = -1
 		t.ParentNode[v] = -1
-		procs[v] = &bfsProc{t: t, v: v, root: v == root}
+		impls[v] = bfsProc{t: t, v: v, root: v == root}
+		procs[v] = &impls[v]
 	}
 	if _, err := net.Run("tree/bfs", procs, maxRounds); err != nil {
 		return nil, err
@@ -174,9 +168,9 @@ type convergeProc struct {
 }
 
 func (c *convergeProc) Step(ctx *congest.Ctx) bool {
-	for _, in := range ctx.Recv() {
+	ctx.ForRecv(func(_ int, in congest.Incoming) {
 		if in.Msg.Kind != kindUp {
-			continue
+			return
 		}
 		val := congest.Val{A: in.Msg.A, B: in.Msg.B}
 		if c.onChild != nil {
@@ -184,7 +178,7 @@ func (c *convergeProc) Step(ctx *congest.Ctx) bool {
 		}
 		c.acc = c.f(c.acc, val)
 		c.waiting--
-	}
+	})
 	if c.waiting == 0 {
 		c.waiting = -1 // fire once
 		c.subtree[c.v] = c.acc
@@ -204,13 +198,15 @@ func Convergecast(net *congest.Network, t *BFSTree, vals []congest.Val, f conges
 	onChild func(v, port int, val congest.Val), maxRounds int64) ([]congest.Val, error) {
 	n := net.N()
 	subtree := make([]congest.Val, n)
-	procs := make([]congest.Proc, n)
+	procs := net.Scratch().Procs(n)
+	impls := make([]convergeProc, n)
 	for v := 0; v < n; v++ {
-		procs[v] = &convergeProc{
+		impls[v] = convergeProc{
 			t: t, v: v, f: f, acc: vals[v],
 			waiting: len(t.ChildPorts[v]),
 			onChild: onChild, subtree: subtree,
 		}
+		procs[v] = &impls[v]
 	}
 	if _, err := net.Run("tree/convergecast", procs, maxRounds); err != nil {
 		return nil, err
@@ -223,7 +219,7 @@ func Convergecast(net *congest.Network, t *BFSTree, vals []congest.Val, f conges
 func Broadcast(net *congest.Network, t *BFSTree, val congest.Val, maxRounds int64) ([]congest.Val, error) {
 	n := net.N()
 	got := make([]congest.Val, n)
-	procs := make([]congest.Proc, n)
+	procs := net.Scratch().Procs(n)
 	for v := 0; v < n; v++ {
 		v := v
 		procs[v] = congest.ProcFunc(func(ctx *congest.Ctx) bool {
@@ -233,12 +229,12 @@ func Broadcast(net *congest.Network, t *BFSTree, val congest.Val, maxRounds int6
 					ctx.Send(p, congest.Message{Kind: kindDown, A: val.A, B: val.B})
 				}
 			}
-			for _, in := range ctx.Recv() {
+			ctx.ForRecv(func(_ int, in congest.Incoming) {
 				got[v] = congest.Val{A: in.Msg.A, B: in.Msg.B}
 				for _, p := range t.ChildPorts[v] {
 					ctx.Send(p, in.Msg)
 				}
-			}
+			})
 			return false
 		})
 	}

@@ -1,21 +1,3 @@
-// Package verify implements Corollary A.1: the graph verification problems
-// of Das Sarma et al. [5] in Õ(D+√n) rounds and Õ(m) messages, built on
-// Thurimella-style connected-component labeling [41] cast as Part-Wise
-// Aggregation — each component of the query subgraph H elects a leader
-// (Algorithm 9's coarsening) and the leader's ID becomes every member's
-// label.
-//
-// Verifiers provided: connectivity, spanning tree (connected + exactly n-1
-// edges), s-t connectivity, cut verification (does deleting the edge set
-// disconnect G), and bipartiteness of H. Global counts and verdicts travel
-// on the engine's BFS tree (convergecast + broadcast), costing O(D) rounds
-// and O(n) messages per decision.
-//
-// Bipartiteness levels: the paper (footnote 4) obtains per-component rooted
-// spanning trees with levels from the PA machinery itself; here levels come
-// from an explicit parity flood along H inside each component, which costs
-// O(component diameter) extra rounds — a documented simplification
-// (DESIGN.md, substitutions).
 package verify
 
 import (
@@ -28,20 +10,29 @@ import (
 )
 
 // Subgraph is a query subgraph H given as node-local knowledge: for each
-// node, which incident ports' edges belong to H.
+// node, which incident ports' edges belong to H. The flags are flat over
+// the graph's CSR offsets (the part.Info.SamePart shape): InH[Row[v]+q]
+// reports whether the edge behind port q of node v belongs to H.
 type Subgraph struct {
-	InH [][]bool
+	Row []int32 // CSR row offsets (len n+1), aliasing the graph's CSR.RowStart
+	InH []bool  // flat 2m
 }
+
+// At reports whether the edge behind port q of node v belongs to H.
+func (s *Subgraph) At(v, q int) bool { return s.InH[s.Row[v]+int32(q)] }
+
+// PortRow returns node v's per-port window of the flat InH array.
+func (s *Subgraph) PortRow(v int) []bool { return s.InH[s.Row[v]:s.Row[v+1]] }
 
 // SubgraphFromEdges builds the node-local view from a global edge subset
 // (engine-side instance construction).
 func SubgraphFromEdges(e *core.Engine, keep []bool) *Subgraph {
 	g := e.Net.Graph()
 	n := g.N()
-	s := &Subgraph{InH: make([][]bool, n)}
+	csr := g.CSR()
+	s := &Subgraph{Row: csr.RowStart, InH: make([]bool, len(csr.PortTo))}
 	for v := 0; v < n; v++ {
-		s.InH[v] = make([]bool, g.Degree(v))
-		inH := s.InH[v]
+		inH := s.PortRow(v)
 		g.ForPorts(v, func(q, _, edge int) bool {
 			inH[q] = keep[edge]
 			return true
@@ -64,20 +55,12 @@ type Labeling struct {
 func ComponentLabels(e *core.Engine, h *Subgraph) (*Labeling, error) {
 	n := e.N
 	g := e.Net.Graph()
-	in := &part.Info{
-		SamePart: make([][]bool, n),
-		LeaderID: make([]int64, n),
-		IsLeader: make([]bool, n),
-		Dense:    make([]int, n),
-	}
-	for v := 0; v < n; v++ {
-		in.LeaderID[v] = -1
-		in.SamePart[v] = append([]bool(nil), h.InH[v]...)
-	}
+	in := part.NewInfo(e.Net)
+	copy(in.SamePart, h.InH) // H-membership IS the partition's port view
 	// Engine-side dense labels for diagnostics/oracles.
 	keep := make([]bool, g.M())
 	for v := 0; v < n; v++ {
-		inH := h.InH[v]
+		inH := h.PortRow(v)
 		g.ForPorts(v, func(q, _, edge int) bool {
 			if inH[q] {
 				keep[edge] = true
@@ -134,7 +117,7 @@ func SpanningTree(e *core.Engine, h *Subgraph, lab *Labeling) (bool, error) {
 	vals := make([]congest.Val, e.N)
 	for v := 0; v < e.N; v++ {
 		deg := int64(0)
-		for _, in := range h.InH[v] {
+		for _, in := range h.PortRow(v) {
 			if in {
 				deg++
 			}
@@ -157,14 +140,9 @@ func STConnected(lab *Labeling, s, t int) bool {
 // like a Subgraph) disconnects G: label the components of G-C and test for
 // more than one.
 func CutDisconnects(e *core.Engine, cut *Subgraph) (bool, error) {
-	g := e.Net.Graph()
-	n := e.N
-	rest := &Subgraph{InH: make([][]bool, n)}
-	for v := 0; v < n; v++ {
-		rest.InH[v] = make([]bool, g.Degree(v))
-		for q := 0; q < g.Degree(v); q++ {
-			rest.InH[v][q] = !cut.InH[v][q]
-		}
+	rest := &Subgraph{Row: cut.Row, InH: make([]bool, len(cut.InH))}
+	for h := range cut.InH {
+		rest.InH[h] = !cut.InH[h]
 	}
 	lab, err := ComponentLabels(e, rest)
 	if err != nil {
@@ -187,19 +165,22 @@ const (
 // parities flags an odd cycle, and the flags are OR-aggregated globally.
 func Bipartite(e *core.Engine, h *Subgraph, lab *Labeling) (bool, error) {
 	n := e.N
-	parity := make([]int64, n)
-	conflict := make([]bool, n)
+	// Leaf-scoped arena use: parity and conflict live only across the
+	// parity Run below; conflict is folded into vals before globalAgg runs.
+	parity := e.Net.Scratch().Int64s(n)
+	conflict := e.Net.Scratch().Bools(n)
 	for v := range parity {
 		parity[v] = -1
 	}
-	procs := make([]congest.Proc, n)
+	procs := e.Net.Scratch().Procs(n)
 	for v := 0; v < n; v++ {
 		v := v
+		inH := h.PortRow(v)
 		procs[v] = congest.ProcFunc(func(ctx *congest.Ctx) bool {
 			adopt := func(p int64) {
 				parity[v] = p
-				for q := 0; q < ctx.Degree(); q++ {
-					if h.InH[v][q] && ctx.CanSend(q) {
+				for q, ok := range inH {
+					if ok && ctx.CanSend(q) {
 						ctx.Send(q, congest.Message{Kind: kindParity, A: 1 - p})
 					}
 				}
@@ -207,14 +188,14 @@ func Bipartite(e *core.Engine, h *Subgraph, lab *Labeling) (bool, error) {
 			if ctx.Round() == 0 && lab.Info.IsLeader[v] {
 				adopt(0)
 			}
-			for _, m := range ctx.Recv() {
+			ctx.ForRecv(func(_ int, m congest.Incoming) {
 				want := m.Msg.A
 				if parity[v] < 0 {
 					adopt(want)
 				} else if parity[v] != want {
 					conflict[v] = true
 				}
-			}
+			})
 			return false
 		})
 	}
