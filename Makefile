@@ -8,7 +8,7 @@ GO ?= go
 # PR number stamped into benchmark snapshots (BENCH_$(PR).json), and the
 # provenance note recorded inside; override both per perf PR, e.g.
 #   make bench PR=5 BENCH_NOTE="batched wake scan; vs BENCH_2: ..."
-PR ?= 3
+PR ?= 4
 BENCH_NOTE ?= engine benchmark snapshot (PR $(PR)); compare against the previous BENCH_<n>.json via benchstat
 
 build:
@@ -22,9 +22,16 @@ test:
 	$(GO) test -short ./...
 
 # Fast suite under the race detector — the standing check on the parallel
-# CONGEST engine (internal/congest/parallel.go).
+# CONGEST engine (internal/congest/parallel.go). CI runs this twice: once
+# as-is (sequential default) and once with CONGEST_WORKERS=4, which makes
+# every network default to the parallel engine so the pool and the sharded
+# wake scan run under the race detector across the whole suite.
 test-race:
 	$(GO) test -race -short ./...
+
+# The workers=4 leg of the race matrix, runnable locally.
+test-race-w4:
+	CONGEST_WORKERS=4 $(GO) test -race -short ./...
 
 # Full suite, including the multi-second experiment sweeps.
 test-full:
@@ -46,8 +53,8 @@ bench-smoke:
 # benchstat comparison of two committed benchmark snapshots (nightly CI
 # appends the output to its job summary for the perf trajectory). Falls
 # back to naming the raw snapshots when jq/benchstat are unavailable.
-BENCH_OLD ?= BENCH_2.json
-BENCH_NEW ?= BENCH_3.json
+BENCH_OLD ?= BENCH_3.json
+BENCH_NEW ?= BENCH_4.json
 bench-compare:
 	@if ! command -v jq >/dev/null 2>&1; then \
 		echo "bench-compare: jq unavailable; raw snapshots: $(BENCH_OLD) $(BENCH_NEW)"; exit 0; fi; \
@@ -59,7 +66,14 @@ bench-compare:
 	else \
 		$(GO) run golang.org/x/perf/cmd/benchstat@latest /tmp/bench_old.txt /tmp/bench_new.txt \
 		|| echo "bench-compare: benchstat unavailable; raw snapshots: $(BENCH_OLD) $(BENCH_NEW)"; \
-	fi
+	fi; \
+	echo ""; \
+	echo "setup-storm allocs/op (BenchmarkEngineSetup, n=10k torus; the phase-setup trajectory):"; \
+	for f in $(BENCH_OLD) $(BENCH_NEW); do \
+		echo "  $$f:"; \
+		jq -r '.raw[]' $$f | grep -E 'BenchmarkEngineSetup/family=torus' \
+			| awk '{printf "    %-55s %s allocs/op\n", $$1, $$(NF-1)}' | sort -u; \
+	done
 
 # Every package must carry its package comment in a doc.go file, so
 # `go doc` stays useful and docs don't drift into scattered lead files.

@@ -8,4 +8,5 @@
 //	pabench -exp T1,F2 -seed 7
 //	pabench -exp T2 -cpuprofile cpu.out -memprofile mem.out
 //	pabench            # all experiments
+//	pabench -sweep -sweep-max 1000000 -workers 4   # engine scale sweep
 package main

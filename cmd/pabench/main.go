@@ -26,6 +26,8 @@ func run(args []string) error {
 		exp        = fs.String("exp", "", "comma-separated experiment IDs (default: all)")
 		seed       = fs.Int64("seed", 12345, "master seed")
 		workers    = fs.Int("workers", 1, "simulation engine workers (results are identical at any setting)")
+		sweep      = fs.Bool("sweep", false, "run the engine scale sweep (tori up to -sweep-max nodes) instead of the paper experiments")
+		sweepMax   = fs.Int("sweep-max", 1_000_000, "largest torus node count the scale sweep builds")
 		cpuprofile = fs.String("cpuprofile", "", "write a CPU profile of the experiment run to this file")
 		memprofile = fs.String("memprofile", "", "write a heap profile taken after the experiment run to this file")
 	)
@@ -58,6 +60,14 @@ func run(args []string) error {
 				fmt.Fprintln(os.Stderr, "pabench: memprofile:", err)
 			}
 		}()
+	}
+	if *sweep {
+		table, err := bench.ScaleSweep(*seed, *sweepMax)
+		if err != nil {
+			return err
+		}
+		fmt.Println(table.Format())
+		return nil
 	}
 	all := bench.Experiments()
 	ids := make([]string, 0, len(all))

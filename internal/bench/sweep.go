@@ -1,0 +1,110 @@
+package bench
+
+import (
+	"fmt"
+	"runtime"
+	"time"
+
+	"shortcutpa/internal/congest"
+	"shortcutpa/internal/graph"
+)
+
+// sweep.go is the engine scale sweep (cmd/pabench -sweep): tori from n=10^4
+// up to n=10^6, each running a fixed broadcast-aggregation storm through
+// the shared-proc phase driver. Unlike the paper experiments, this measures
+// the simulator itself — setup wall time, steady-state ns/round and
+// ns/message, and the resident heap — to locate the next engine bottleneck
+// as n grows (ROADMAP "Bigger instances"). The int32 CSR guard bounds how
+// far the sweep could ever be pushed (2m <= 2^31); at n=10^6 a torus uses
+// 4x10^6 of those half-edge slots.
+
+// stormRounds is the number of broadcast rounds each sweep instance runs:
+// every node broadcasts its running min-ID each round, so messages per
+// round are exactly 2m and the instance quiesces one round after the last
+// broadcast.
+const stormRounds = 10
+
+// ScaleSweep runs the sweep on square tori with n <= maxN and returns the
+// measurement table. Wall-clock numbers depend on the host; the sweep is a
+// diagnostic, not a regression gate (BENCH_<pr>.json plays that role).
+func ScaleSweep(seed int64, maxN int) (*Table, error) {
+	t := &Table{
+		ID:      "SWEEP",
+		Title:   fmt.Sprintf("engine scale sweep: torus broadcast storm, %d rounds, workers=%d", stormRounds, max(workers, 1)),
+		Headers: []string{"torus", "n", "2m", "setup ms", "storm ms", "ns/round", "ns/msg", "msgs", "heap MB"},
+		Notes: []string{
+			"setup: graph build + NewNetwork + engine-buffer warmup; storm: the timed phase only",
+			"heap: HeapAlloc after a forced GC with the network still live (graph + engine footprint)",
+		},
+	}
+	for _, side := range []int{100, 250, 500, 1000} {
+		n := side * side
+		if n > maxN {
+			break
+		}
+		row, err := sweepInstance(seed, side)
+		if err != nil {
+			return nil, fmt.Errorf("sweep side %d: %w", side, err)
+		}
+		t.Rows = append(t.Rows, row)
+	}
+	if len(t.Rows) == 0 {
+		return nil, fmt.Errorf("sweep: maxN %d below the smallest instance (10000)", maxN)
+	}
+	return t, nil
+}
+
+// sweepInstance builds one torus network and times the storm phase on it.
+func sweepInstance(seed int64, side int) ([]string, error) {
+	setupStart := time.Now()
+	g := graph.Torus(side, side)
+	net := newNetwork(g, seed)
+	n := g.N()
+	minID := make([]int64, n)
+	for v := 0; v < n; v++ {
+		minID[v] = net.ID(v)
+	}
+	storm := congest.NodeProcFunc(func(ctx *congest.Ctx, v int) bool {
+		ctx.ForRecv(func(_ int, in congest.Incoming) {
+			if in.Msg.A < minID[v] {
+				minID[v] = in.Msg.A
+			}
+		})
+		if ctx.Round() < stormRounds {
+			ctx.Broadcast(congest.Message{A: minID[v]})
+			return true
+		}
+		return false
+	})
+	// One warmup round so the engine's network-lifetime buffers exist before
+	// the timed phase (they are allocated on first run).
+	if _, err := net.RunNodes("sweep/warmup", congest.NodeProcFunc(func(ctx *congest.Ctx, v int) bool {
+		return false
+	}), 4); err != nil {
+		return nil, err
+	}
+	net.ResetMetrics()
+	setup := time.Since(setupStart)
+
+	stormStart := time.Now()
+	cost, err := net.RunNodes("sweep/storm", storm, int64(stormRounds)+4)
+	if err != nil {
+		return nil, err
+	}
+	elapsed := time.Since(stormStart)
+
+	runtime.GC()
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+
+	nsPerRound := float64(elapsed.Nanoseconds()) / float64(max(cost.Rounds, 1))
+	nsPerMsg := float64(elapsed.Nanoseconds()) / float64(max(cost.Messages, 1))
+	return []string{
+		fmt.Sprintf("%dx%d", side, side),
+		itoaInt(n), itoaInt(2 * g.M()),
+		itoa(setup.Milliseconds()), itoa(elapsed.Milliseconds()),
+		fmt.Sprintf("%.0f", nsPerRound), fmt.Sprintf("%.1f", nsPerMsg),
+		itoa(cost.Messages),
+		fmt.Sprintf("%.0f", float64(ms.HeapAlloc)/(1<<20)),
+	}, nil
+}

@@ -1,0 +1,42 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestScaleSweepSmallest runs the sweep capped at its smallest instance
+// (n=10^4) so the measurement path stays exercised by the fast suite; the
+// full n=10^6 march is interactive (cmd/pabench -sweep).
+func TestScaleSweepSmallest(t *testing.T) {
+	tab, err := ScaleSweep(7, 10_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 1 {
+		t.Fatalf("got %d rows, want 1 (the 100x100 torus)", len(tab.Rows))
+	}
+	row := tab.Rows[0]
+	if len(row) != len(tab.Headers) {
+		t.Fatalf("row width %d != header width %d", len(row), len(tab.Headers))
+	}
+	if row[0] != "100x100" || row[1] != "10000" {
+		t.Fatalf("unexpected instance row: %v", row)
+	}
+	// The storm is exactly stormRounds broadcasts over 2m half-edges:
+	// a 100x100 torus has m = 2n = 20000 edges, so 10 * 40000 messages.
+	wantMsgs := "400000"
+	if row[7] != wantMsgs {
+		t.Fatalf("storm messages %s, want %s", row[7], wantMsgs)
+	}
+	if !strings.Contains(tab.Format(), "SWEEP") {
+		t.Fatal("formatted table lacks the SWEEP id")
+	}
+}
+
+// TestScaleSweepBelowMinimumErrors pins the empty-sweep guard.
+func TestScaleSweepBelowMinimumErrors(t *testing.T) {
+	if _, err := ScaleSweep(7, 9_999); err == nil {
+		t.Fatal("ScaleSweep below the smallest instance did not error")
+	}
+}

@@ -3,9 +3,26 @@ package congest
 import (
 	"fmt"
 	"math/rand"
+	"os"
+	"strconv"
+	"sync"
 
 	"shortcutpa/internal/graph"
 )
+
+// envWorkers reads the CONGEST_WORKERS environment override once: a CI/ops
+// knob that makes every new network default to that engine parallelism
+// (SetWorkers still overrides per network). Results are bit-identical at
+// any setting, so the knob only changes which engine executes; the
+// race-short CI matrix uses it to drive the whole suite through the
+// parallel engine's pool and sharded wake scan.
+var envWorkers = sync.OnceValue(func() int {
+	k, err := strconv.Atoi(os.Getenv("CONGEST_WORKERS"))
+	if err != nil || k < 0 {
+		return 0
+	}
+	return k
+})
 
 // Message is one O(log n)-bit CONGEST message: a protocol-defined kind tag
 // and up to three machine words of payload (a constant number of O(log n)-bit
@@ -43,6 +60,11 @@ type Phase struct {
 // which the node is scheduled: round 0, any round with incoming messages,
 // and any round following a Step that returned true (active). Returning
 // false parks the node until a message wakes it.
+//
+// Proc is the per-node form: Run takes one value per node. The paper's
+// protocols are uniform — every node runs the same state machine over
+// per-node state — so production protocols use the shared form, NodeProc,
+// which avoids materializing n closures or proc objects per phase.
 type Proc interface {
 	Step(ctx *Ctx) (active bool)
 }
@@ -52,6 +74,38 @@ type ProcFunc func(ctx *Ctx) bool
 
 // Step implements Proc.
 func (f ProcFunc) Step(ctx *Ctx) bool { return f(ctx) }
+
+// NodeProc is a phase's state machine shared by every node: one value whose
+// Step is invoked with the node index v whenever v is scheduled (same
+// schedule as Proc.Step — round 0, deliveries, or active). Per-node state
+// lives in flat protocol-owned arrays indexed by v, not in the NodeProc
+// value, so one phase costs O(1) allocations regardless of n.
+//
+// The engine itself runs only NodeProcs; Run adapts a []Proc table through
+// one. Both forms produce bit-identical executions — the scheduler, the
+// delivery buffers, and the cost accounting are shared.
+//
+// Concurrency contract (workers > 1): Step(ctx, v) may be invoked for
+// different v concurrently from several goroutines, exactly as distinct
+// Procs may. State indexed by v (or by v's CSR port offsets) is safe;
+// writes to state shared across nodes require the same discipline per-node
+// Procs already needed (in practice: none — protocol state is per-node).
+type NodeProc interface {
+	Step(ctx *Ctx, v int) (active bool)
+}
+
+// NodeProcFunc adapts a function to the NodeProc interface.
+type NodeProcFunc func(ctx *Ctx, v int) bool
+
+// Step implements NodeProc.
+func (f NodeProcFunc) Step(ctx *Ctx, v int) bool { return f(ctx, v) }
+
+// procTable adapts the per-node []Proc form onto the shared-proc engine
+// path: stepping node v dispatches to the v-th table entry.
+type procTable []Proc
+
+// Step implements NodeProc.
+func (t procTable) Step(ctx *Ctx, v int) bool { return t[v].Step(ctx) }
 
 // Network binds a graph to the simulator: node IDs, per-node PRNGs, and
 // accumulated cost accounting across protocol phases. The flat delivery
@@ -79,22 +133,25 @@ type Network struct {
 func NewNetwork(g *graph.Graph, seed int64) *Network {
 	n := g.N()
 	net := &Network{
-		g:    g,
-		csr:  g.CSR(),
-		seed: seed,
-		ids:  make([]int64, n),
-		byID: make(map[int64]int, n),
-		rngs: make([]*rand.Rand, n),
+		g:       g,
+		csr:     g.CSR(),
+		seed:    seed,
+		ids:     make([]int64, n),
+		byID:    make(map[int64]int, n),
+		rngs:    make([]*rand.Rand, n),
+		workers: envWorkers(),
 	}
 	// Arbitrary unique IDs: an injective affine map of a seeded permutation,
 	// so IDs are unique, O(log n)-bit scale, and in random order (the KT0
 	// "arbitrary ID" assumption; see DESIGN.md on leader-election messages).
+	// Per-node PRNGs are created lazily (see rng): a math/rand source is
+	// ~5 KB, so eager creation would dominate the network's footprint at
+	// n = 10^6 while most protocols never draw randomness at most nodes.
 	perm := rand.New(rand.NewSource(seed)).Perm(n)
 	for v := 0; v < n; v++ {
 		id := int64(perm[v])*2654435761 + 12345
 		net.ids[v] = id
 		net.byID[id] = v
-		net.rngs[v] = rand.New(rand.NewSource(seed ^ (int64(v+1) * 0x9E3779B9)))
 	}
 	// Edge-slot geometry. Delivery slots are rank-indexed: slot RowStart[v]+k
 	// holds the message from v's k-th neighbor in ascending node order, so a
@@ -149,6 +206,19 @@ func (n *Network) NodeByID(id int64) int {
 // Seed returns the master seed.
 func (n *Network) Seed() int64 { return n.seed }
 
+// rng returns node v's private PRNG, creating it on first use. The stream
+// depends only on (seed, v), so lazy creation is invisible to protocols and
+// identical across engines. Under workers > 1 each node is stepped by
+// exactly one goroutine, so the slot write is single-writer.
+func (n *Network) rng(v int) *rand.Rand {
+	if r := n.rngs[v]; r != nil {
+		return r
+	}
+	r := rand.New(rand.NewSource(n.seed ^ (int64(v+1) * 0x9E3779B9)))
+	n.rngs[v] = r
+	return r
+}
+
 // Workers returns the configured engine parallelism (0 or 1 = sequential).
 func (n *Network) Workers() int { return n.workers }
 
@@ -199,6 +269,10 @@ func (e *BudgetExceededError) Error() string {
 // phase ends at global quiescence (no active node, no message in flight) or
 // fails with BudgetExceededError after maxRounds. The phase cost is recorded
 // under name and added to the network totals.
+//
+// Run is a thin adapter over RunNodes (a procTable dispatches to the per-node
+// entries), kept for tests and ad-hoc protocols; production protocols use
+// RunNodes directly to avoid building n proc values per phase.
 func (n *Network) Run(name string, procs []Proc, maxRounds int64) (Metrics, error) {
 	return n.RunParallel(name, procs, maxRounds, n.workers)
 }
@@ -211,7 +285,25 @@ func (n *Network) RunParallel(name string, procs []Proc, maxRounds int64, worker
 	if len(procs) != n.N() {
 		return Metrics{}, fmt.Errorf("congest: phase %q has %d procs for %d nodes", name, len(procs), n.N())
 	}
-	st := newRunState(n, procs, workers)
+	return n.RunNodesParallel(name, procTable(procs), maxRounds, workers)
+}
+
+// RunNodes executes one protocol phase driven by a single shared state
+// machine: p.Step(ctx, v) is invoked for every scheduled node v. Scheduling,
+// quiescence, budget failure, and cost recording are identical to Run — the
+// two entry points differ only in how the node's Step is found.
+func (n *Network) RunNodes(name string, p NodeProc, maxRounds int64) (Metrics, error) {
+	return n.RunNodesParallel(name, p, maxRounds, n.workers)
+}
+
+// RunNodesParallel is RunNodes with an explicit worker count for this phase,
+// overriding the network-level SetWorkers setting. This is the engine's one
+// true phase driver; every other Run* entry point funnels here.
+func (n *Network) RunNodesParallel(name string, p NodeProc, maxRounds int64, workers int) (Metrics, error) {
+	if p == nil && n.N() > 0 {
+		return Metrics{}, fmt.Errorf("congest: phase %q has a nil NodeProc for %d nodes", name, n.N())
+	}
+	st := newRunState(n, p, workers)
 	defer st.close()
 	// Advance the network clock past every stamp this phase can have
 	// written, even on a budget failure or a protocol panic: the next
@@ -313,18 +405,20 @@ const poisonKind int32 = -0x7011
 // runState is the per-phase simulation state: a window of the network's
 // persistent engine buffers plus this phase's round counters and pool.
 type runState struct {
-	net      *Network
-	procs    []Proc
-	base     int64 // network clock at phase start; the protocol-visible round is round-base
-	round    int64 // global round number, monotone across phases
-	started  bool
-	inFlight int64
-	workers  int   // goroutines stepping nodes; <= 1 means sequential
-	pool     *pool // persistent worker pool; nil until first parallel step
+	net         *Network
+	proc        NodeProc
+	table       procTable // non-nil when proc is the []Proc adapter: unwrapped once so the legacy form pays one dynamic dispatch per node, not two
+	base        int64     // network clock at phase start; the protocol-visible round is round-base
+	round       int64     // global round number, monotone across phases
+	started     bool
+	inFlight    int64
+	activeCount int64 // nodes whose last Step returned active (summed per shard)
+	workers     int   // goroutines stepping nodes; <= 1 means sequential
+	pool        *pool // persistent worker pool; nil until first parallel step
 	*engineBuffers
 }
 
-func newRunState(n *Network, procs []Proc, workers int) *runState {
+func newRunState(n *Network, p NodeProc, workers int) *runState {
 	nn := n.N()
 	if workers > nn {
 		workers = nn
@@ -335,14 +429,47 @@ func newRunState(n *Network, procs []Proc, workers int) *runState {
 	if n.buf == nil {
 		n.buf = newEngineBuffers(n)
 	}
-	return &runState{
+	st := &runState{
 		net:           n,
-		procs:         procs,
+		proc:          p,
 		base:          n.clock,
 		round:         n.clock,
 		workers:       workers,
 		engineBuffers: n.buf,
 	}
+	if t, ok := p.(procTable); ok {
+		st.table = t
+	}
+	return st
+}
+
+// stepRange steps the scheduled nodes of [lo, hi) through the phase's state
+// machine — the shared inner loop of the sequential engine (full range) and
+// each parallel worker (its shard). It returns how many stepped nodes came
+// back active, which is the range's total active count: a node left
+// unstepped is never active (an active node is always scheduled, so its
+// flag is rewritten every round).
+func (st *runState) stepRange(ctx *Ctx, lo, hi int) (active int64) {
+	if t := st.table; t != nil {
+		for v := lo; v < hi; v++ {
+			if st.scheduled(v) {
+				ctx.v = v
+				if st.active[v] = t[v].Step(ctx); st.active[v] {
+					active++
+				}
+			}
+		}
+		return active
+	}
+	for v := lo; v < hi; v++ {
+		if st.scheduled(v) {
+			ctx.v = v
+			if st.active[v] = st.proc.Step(ctx, v); st.active[v] {
+				active++
+			}
+		}
+	}
+	return active
 }
 
 func (st *runState) quiescent() bool {
@@ -352,12 +479,10 @@ func (st *runState) quiescent() bool {
 	if st.inFlight > 0 {
 		return false
 	}
-	for _, a := range st.active {
-		if a {
-			return false
-		}
-	}
-	return true
+	// activeCount is maintained by the step waves (each worker counts its
+	// own shard), so quiescence detection is O(1) — no serial scan of the
+	// per-node active flags.
+	return st.activeCount == 0
 }
 
 // scheduled reports whether node v runs this round: every node at the
@@ -387,16 +512,9 @@ func (st *runState) step() int64 {
 		return st.stepParallel()
 	}
 	st.started = true
-	n := st.net.N()
 	var sent int64
 	ctx := Ctx{st: st, sent: &sent}
-	for v := 0; v < n; v++ {
-		if !st.scheduled(v) {
-			continue
-		}
-		ctx.v = v
-		st.active[v] = st.procs[v].Step(&ctx)
-	}
+	st.activeCount = st.stepRange(&ctx, 0, st.net.N())
 	st.flip()
 	st.inFlight = sent
 	st.round++

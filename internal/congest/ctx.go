@@ -32,8 +32,9 @@ func (c *Ctx) Degree() int {
 	return int(rs[c.v+1] - rs[c.v])
 }
 
-// Rand returns the node's private PRNG.
-func (c *Ctx) Rand() *rand.Rand { return c.st.net.rngs[c.v] }
+// Rand returns the node's private PRNG (created on first use; the stream
+// depends only on the master seed and the node index).
+func (c *Ctx) Rand() *rand.Rand { return c.st.net.rng(c.v) }
 
 // Recv returns the messages delivered to this node at the start of the
 // round, in ascending sender-index order (each neighbor sends at most one
@@ -171,9 +172,10 @@ func (c *Ctx) Send(p int, m Message) {
 	b.nextStamp[slot] = st.round
 	b.nextInc[slot].Msg = m
 	if st.workers <= 1 {
-		// The parallel engine derives wake stamps in the coordinator's
-		// post-barrier scan instead: concurrent senders may share a
-		// receiver, and wakeNext[to] must have one writer at a time.
+		// The parallel engine derives wake stamps in a second sharded
+		// wave after stepping (scanShard) instead: concurrent senders may
+		// share a receiver, and wakeNext[to] must have one writer at a
+		// time — receiver-sharding the scan gives it exactly one.
 		b.wakeNext[csr.PortTo[h]] = st.round
 	}
 	*c.sent++

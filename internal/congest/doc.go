@@ -25,9 +25,16 @@
 // cross-engine merge pass, because each slot has exactly one writer.
 // Protocols read deliveries three ways: Ctx.Recv (a read-only view, the
 // aliasing contract in README.md), Ctx.ForRecv (in-place iteration, the
-// zero-copy default), and Ctx.RecvOn (O(1) port-indexed lookup). Per-phase
-// protocol buffers ([]Proc arrays, flat per-port flags) recycle through the
-// network's Scratch arena (scratch.go) so repeated phases do not allocate.
+// zero-copy default), and Ctx.RecvOn (O(1) port-indexed lookup).
+//
+// Phase execution is shared-proc (README.md "The shared-proc execution
+// model"): the paper's protocols are uniform, so a phase is one NodeProc —
+// a single state machine stepped with the node index — over flat per-node
+// state arrays, run by Network.RunNodes. Network.Run([]Proc) remains as a
+// thin adapter for tests and ad-hoc protocols; both forms are
+// bit-identical. Per-phase flat flag arrays (and the adapter's []Proc
+// tables) recycle through the network's Scratch arena (scratch.go), so
+// repeated phases allocate O(1).
 //
 // Cost accounting follows the paper's measures: Rounds is the number of
 // synchronous rounds executed until global quiescence (or the budget), and

@@ -67,28 +67,32 @@ func BenchmarkEngine(b *testing.B) {
 }
 
 // BenchmarkEngineSetup measures PHASE SETUP — the protocol-side cost
-// BenchmarkEngine deliberately excludes: building the per-phase []Proc and
-// a per-port flag table, then running a short phase. scratch=off is the
-// pre-PR-3 idiom (fresh make([]Proc) plus a per-node [][]bool); scratch=on
-// is the flat idiom (Scratch.Procs + one CSR-offset PortBools array). The
-// allocs/op gap between the two rows is the phase-setup allocation sweep's
-// headline number.
+// BenchmarkEngine deliberately excludes: building one phase's proc state
+// and a per-port flag table, then running a short phase. Three idioms:
+//
+//	scratch=false  pre-PR-3: fresh make([]Proc) closures + per-node [][]bool
+//	scratch=true   PR 3: Scratch.Procs closures + one CSR-offset PortBools
+//	proc=shared    PR 4: one shared NodeProc over the flat flag array —
+//	               no per-node proc objects at all
+//
+// The allocs/op trajectory across the three rows is the phase-setup
+// allocation story: ~2n+11 -> ~n+9 -> O(1).
 func BenchmarkEngineSetup(b *testing.B) {
 	for _, fam := range benchFamilies() {
 		g := fam.g
-		for _, useScratch := range []bool{false, true} {
-			name := fmt.Sprintf("family=%s/scratch=%v", fam.name, useScratch)
+		for _, mode := range []string{"scratch=false", "scratch=true", "proc=shared"} {
+			name := fmt.Sprintf("family=%s/%s", fam.name, mode)
 			b.Run(name, func(b *testing.B) {
 				net := NewNetwork(g, 42)
 				csr := g.CSR()
 				// One warmup phase so the engine's network-lifetime buffers
-				// (and the arena, when on) exist before timing starts.
-				setupPhase(b, net, csr, useScratch)
+				// (and the arena, when used) exist before timing starts.
+				setupPhase(b, net, csr, mode)
 				net.ResetMetrics()
 				b.ReportAllocs()
 				b.ResetTimer()
 				for i := 0; i < b.N; i++ {
-					setupPhase(b, net, csr, useScratch)
+					setupPhase(b, net, csr, mode)
 					net.ResetMetrics()
 				}
 			})
@@ -96,14 +100,45 @@ func BenchmarkEngineSetup(b *testing.B) {
 	}
 }
 
-// setupPhase builds one phase's procs and per-port flags and runs it: every
-// node broadcasts once, receivers count deliveries on flagged ports.
-func setupPhase(b *testing.B, net *Network, csr graph.CSR, useScratch bool) {
+// setupPhase builds one phase's proc state and per-port flags in the given
+// idiom and runs it: every node broadcasts once, receivers count deliveries
+// on flagged ports. The phase is pinned to the sequential engine (explicit
+// workers=1): the shared `got` counter is cross-node mutable state, which
+// the locality rule forbids on the parallel engine — and this benchmark
+// must measure the same engine regardless of the CONGEST_WORKERS default.
+func setupPhase(b *testing.B, net *Network, csr graph.CSR, mode string) {
 	b.Helper()
 	n := net.N()
+	got := 0
+	if mode == "proc=shared" {
+		flat := net.Scratch().PortBools()
+		for i := range flat {
+			flat[i] = i%2 == 0
+		}
+		proc := NodeProcFunc(func(ctx *Ctx, v int) bool {
+			if ctx.Round() == 0 {
+				ctx.Broadcast(Message{A: int64(v)})
+				return false
+			}
+			ctx.ForRecv(func(_ int, in Incoming) {
+				if flat[csr.RowStart[v]+int32(in.Port)] {
+					got++
+				}
+			})
+			return false
+		})
+		if _, err := net.RunNodesParallel("setup", proc, 8, 1); err != nil {
+			b.Fatal(err)
+		}
+		if got < 0 {
+			b.Fatal("impossible")
+		}
+		return
+	}
+	useScratch := mode == "scratch=true"
 	var procs []Proc
-	var flat []bool     // scratch=on: one 2m array, CSR offsets
-	var perNode [][]bool // scratch=off: the old per-node shape
+	var flat []bool      // scratch=true: one 2m array, CSR offsets
+	var perNode [][]bool // scratch=false: the old per-node shape
 	if useScratch {
 		procs = net.Scratch().Procs(n)
 		flat = net.Scratch().PortBools()
@@ -121,7 +156,6 @@ func setupPhase(b *testing.B, net *Network, csr graph.CSR, useScratch bool) {
 			perNode[v] = row
 		}
 	}
-	got := 0
 	for v := 0; v < n; v++ {
 		v := v
 		procs[v] = ProcFunc(func(ctx *Ctx) bool {
@@ -143,7 +177,7 @@ func setupPhase(b *testing.B, net *Network, csr graph.CSR, useScratch bool) {
 			return false
 		})
 	}
-	if _, err := net.Run("setup", procs, 8); err != nil {
+	if _, err := net.RunParallel("setup", procs, 8, 1); err != nil {
 		b.Fatal(err)
 	}
 	if got < 0 {

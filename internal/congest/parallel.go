@@ -12,29 +12,43 @@ package congest
 //     memory and the old per-sender outbox + sender-index merge pass does
 //     not exist: delivery order is reconstructed structurally by Recv's
 //     neighbor-ordered slot walk, on either engine;
-//   - after all workers reach the end-of-round barrier, the coordinator
-//     scans the freshly stamped slots once to mark which nodes have
-//     deliveries (the wake stamps a sequential Send writes inline — with
-//     concurrent senders they need a single writer).
+//   - the wake stamps a sequential Send writes inline need a single writer
+//     per receiver; with concurrent senders they are derived instead in a
+//     second barrier phase after stepping: every worker scans the freshly
+//     stamped slots of its own receiver shard and stamps those receivers.
+//     Writes stay disjoint (each worker stamps only its shard), reads see
+//     every worker's sends (the coordinator's done/start handoffs order
+//     them), and the coordinator keeps no O(n+2m) serial section — its
+//     per-round serial work is O(workers) channel operations.
 //
 // The result is bit-identical to the sequential engine: same outputs, same
 // Rounds/Messages, same PRNG streams.
 
+// poolPhase selects what a parked worker does when woken.
+type poolPhase uint8
+
+const (
+	phaseStep poolPhase = iota // step the shard's scheduled nodes
+	phaseScan                  // derive the shard's wake stamps
+)
+
 // shardDone is one worker's end-of-round report: how many messages its
-// nodes sent, and a recovered protocol panic if any.
+// nodes sent, how many of them stepped active, and a recovered protocol
+// panic if any.
 type shardDone struct {
-	sent int64
-	rec  any
+	sent   int64
+	active int64
+	rec    any
 }
 
 // pool is a phase-lifetime worker pool: workers park between rounds on
 // their start channel rather than being respawned every round (phases run
 // for thousands of rounds). The start/done channel handoffs also establish
-// the happens-before edges between worker stepping and the coordinator's
-// wake scan and buffer flip.
+// the happens-before edges between worker stepping, the sharded wake scan,
+// and the coordinator's buffer flip.
 type pool struct {
-	start []chan struct{}
-	done  chan shardDone // one report per worker per round
+	start []chan poolPhase
+	done  chan shardDone // one report per worker per wave
 }
 
 func (st *runState) ensurePool() {
@@ -43,10 +57,15 @@ func (st *runState) ensurePool() {
 	}
 	p := &pool{done: make(chan shardDone, st.workers)}
 	for i := 0; i < st.workers; i++ {
-		ch := make(chan struct{}, 1)
+		ch := make(chan poolPhase, 1)
 		p.start = append(p.start, ch)
 		go func(i int) {
-			for range ch {
+			for ph := range ch {
+				if ph == phaseScan {
+					st.scanShard(i)
+					p.done <- shardDone{}
+					continue
+				}
 				p.done <- st.stepShard(i)
 			}
 		}(i)
@@ -66,27 +85,63 @@ func (st *runState) close() {
 	st.pool = nil
 }
 
+// shardRange returns worker i's contiguous node block [lo, hi). Contiguity
+// makes every per-node array (active, recvLen, wakeNext, ...) write in
+// disjoint cache-line ranges per worker, at the price of possible imbalance
+// when active nodes cluster — acceptable because the engine targets rounds
+// where most nodes do work.
+func (st *runState) shardRange(i int) (lo, hi int) {
+	n := st.net.N()
+	return i * n / st.workers, (i + 1) * n / st.workers
+}
+
 // stepShard steps worker i's nodes and reports its message count plus the
-// recovered panic value, if any. The shard is a contiguous block: workers
-// then write disjoint cache-line ranges of the per-node arrays (active,
-// recvLen, recvRound), at the price of possible imbalance when active
-// nodes cluster — acceptable because the engine targets rounds where most
-// nodes do work.
+// recovered panic value, if any.
 func (st *runState) stepShard(i int) (res shardDone) {
 	defer func() { res.rec = recover() }()
-	n := st.net.N()
-	lo, hi := i*n/st.workers, (i+1)*n/st.workers
+	lo, hi := st.shardRange(i)
 	var sent int64
 	ctx := Ctx{st: st, sent: &sent}
-	for v := lo; v < hi; v++ {
-		if !st.scheduled(v) {
-			continue
-		}
-		ctx.v = v
-		st.active[v] = st.procs[v].Step(&ctx)
-	}
+	res.active = st.stepRange(&ctx, lo, hi)
 	res.sent = sent
 	return res
+}
+
+// scanShard is the second barrier phase of a parallel round: worker i
+// stamps each node of its own shard that received a delivery this round, by
+// scanning the node's freshly written slot stamps. Receiver-sharded, so the
+// wakeNext writes are disjoint across workers; the stamps read were written
+// by all workers during the step phase, ordered by the coordinator's
+// barrier in between.
+func (st *runState) scanShard(i int) {
+	lo, hi := st.shardRange(i)
+	rs := st.net.csr.RowStart
+	round := st.round
+	for v := lo; v < hi; v++ {
+		for h := rs[v]; h < rs[v+1]; h++ {
+			if st.nextStamp[h] == round {
+				st.wakeNext[v] = round
+				break
+			}
+		}
+	}
+}
+
+// wave runs one pool phase on every worker and blocks until all report,
+// accumulating the reports.
+func (st *runState) wave(ph poolPhase) (sent, active int64, rec any) {
+	for _, ch := range st.pool.start {
+		ch <- ph
+	}
+	for range st.pool.start {
+		res := <-st.pool.done
+		sent += res.sent
+		active += res.active
+		if res.rec != nil && rec == nil {
+			rec = res.rec
+		}
+	}
+	return sent, active, rec
 }
 
 // stepParallel runs one synchronous round on the worker pool and returns
@@ -94,37 +149,22 @@ func (st *runState) stepShard(i int) (res shardDone) {
 func (st *runState) stepParallel() int64 {
 	st.started = true
 	st.ensurePool()
-	for _, ch := range st.pool.start {
-		ch <- struct{}{}
-	}
-	var sent int64
-	var protocolPanic any
-	for range st.pool.start {
-		res := <-st.pool.done
-		sent += res.sent
-		if res.rec != nil && protocolPanic == nil {
-			protocolPanic = res.rec
-		}
-	}
+	sent, active, protocolPanic := st.wave(phaseStep)
 	if protocolPanic != nil {
 		// A model violation (e.g. double send) inside a worker: re-raise on
 		// the caller's goroutine, as the sequential engine would.
 		panic(protocolPanic)
 	}
-	// Wake scan: stamp each node that received a delivery this round. This
-	// single pass over the slot stamps is the coordinator's only serial
-	// work — the sender-index merge pass of the old [][]Incoming engine is
-	// gone because slots are disjoint by construction.
-	rs := st.net.csr.RowStart
-	n := st.net.N()
-	for v := 0; v < n; v++ {
-		for h := rs[v]; h < rs[v+1]; h++ {
-			if st.nextStamp[h] == st.round {
-				st.wakeNext[v] = st.round
-				break
-			}
-		}
+	st.activeCount = active
+	// Wake scan, sharded across the same workers (second barrier phase).
+	// The sequential engine writes no wake stamps when nothing was sent, so
+	// skipping the wave on sent == 0 is exact, not an approximation.
+	if sent > 0 {
+		st.wave(phaseScan)
 	}
+	// With the active count summed per shard above and quiescence read off
+	// it, the coordinator's serial work this round was O(workers) channel
+	// operations — no per-node or per-slot serial pass anywhere.
 	st.flip()
 	st.inFlight = sent
 	st.round++

@@ -76,17 +76,12 @@ func (e *Engine) BlockPushAggregate(inf *Infra, vals []congest.Val, f congest.Co
 	}
 	n := e.N
 	upDeadline := e.D + int64(inf.SC.Congestion()) + int64(e.N/(int(e.D)+1)) + 32
-	procs := e.Net.Scratch().Procs(n)
-	impls := make([]*pushProc, n)
-	for v := 0; v < n; v++ {
-		impls[v] = &pushProc{e: e, inf: inf, f: f, v: v, val: vals[v], deadline: upDeadline}
-		procs[v] = impls[v]
-	}
-	if _, err := e.Net.Run("core/blockpush", procs, e.maxBudget()); err != nil {
+	pp := newPushProc(e, inf, f, vals, upDeadline)
+	if _, err := e.Net.RunNodes("core/blockpush", pp, e.maxBudget()); err != nil {
 		return nil, fmt.Errorf("core: block push: %w", err)
 	}
 	for v := 0; v < n; v++ {
-		if impls[v].lost {
+		if pp.lost[v] {
 			return nil, fmt.Errorf("core: block-push schedule too tight at node %d; instance unsuitable for this baseline", v)
 		}
 	}
@@ -102,10 +97,10 @@ func (e *Engine) BlockPushAggregate(inf *Infra, vals []congest.Val, f congest.Co
 			out.Values[v] = coveredVals[v]
 			continue
 		}
-		if !impls[v].haveResult {
+		if !pp.haveResult[v] {
 			return nil, fmt.Errorf("core: block push left node %d without a result", v)
 		}
-		out.Values[v] = impls[v].result
+		out.Values[v] = pp.result[v]
 	}
 	return out, nil
 }
@@ -149,13 +144,14 @@ func (e *Engine) coveredPartAggregate(inf *Infra, vals []congest.Val, f congest.
 		return out, nil
 	}
 	n := e.N
-	procs := e.Net.Scratch().Procs(n)
-	impls := make([]coveredAggProc, n)
-	for v := 0; v < n; v++ {
-		impls[v] = coveredAggProc{inf: inf, f: f, v: v, val: vals[v], out: out}
-		procs[v] = &impls[v]
+	cp := &coveredAggProc{
+		inf: inf, f: f, out: out,
+		val:     make([]congest.Val, n),
+		waiting: make([]int, n),
+		fired:   make([]bool, n),
 	}
-	if _, err := e.Net.Run("core/covered-agg", procs, e.maxBudget()); err != nil {
+	copy(cp.val, vals)
+	if _, err := e.Net.RunNodes("core/covered-agg", cp, e.maxBudget()); err != nil {
 		return nil, fmt.Errorf("core: covered-part aggregation: %w", err)
 	}
 	return out, nil
@@ -167,30 +163,31 @@ const (
 )
 
 // coveredAggProc is a convergecast + result broadcast on a covered part's
-// intra-part BFS tree.
+// intra-part BFS tree. Shared across nodes; per-node state is the flat
+// val/waiting/fired arrays.
 type coveredAggProc struct {
 	inf     *Infra
 	f       congest.Combine
-	v       int
-	val     congest.Val
+	val     []congest.Val
 	out     []congest.Val
-	waiting int
-	fired   bool
+	waiting []int
+	fired   []bool
 }
 
-func (p *coveredAggProc) Step(ctx *congest.Ctx) bool {
-	pb, v := p.inf.PB, p.v
+// Step implements congest.NodeProc.
+func (p *coveredAggProc) Step(ctx *congest.Ctx, v int) bool {
+	pb := p.inf.PB
 	if !pb.Covered[v] {
 		return false
 	}
 	if ctx.Round() == 0 {
-		p.waiting = len(pb.ChildPorts[v])
+		p.waiting[v] = len(pb.ChildPorts[v])
 	}
 	ctx.ForRecv(func(_ int, in congest.Incoming) {
 		switch in.Msg.Kind {
 		case kCovUp:
-			p.val = p.f(p.val, congest.Val{A: in.Msg.A, B: in.Msg.B})
-			p.waiting--
+			p.val[v] = p.f(p.val[v], congest.Val{A: in.Msg.A, B: in.Msg.B})
+			p.waiting[v]--
 		case kCovDown:
 			p.out[v] = congest.Val{A: in.Msg.A, B: in.Msg.B}
 			for _, q := range pb.ChildPorts[v] {
@@ -198,108 +195,129 @@ func (p *coveredAggProc) Step(ctx *congest.Ctx) bool {
 			}
 		}
 	})
-	if p.waiting == 0 && !p.fired {
-		p.fired = true
+	if p.waiting[v] == 0 && !p.fired[v] {
+		p.fired[v] = true
 		if pb.ParentPort[v] >= 0 {
-			ctx.Send(pb.ParentPort[v], congest.Message{Kind: kCovUp, A: p.val.A, B: p.val.B})
+			ctx.Send(pb.ParentPort[v], congest.Message{Kind: kCovUp, A: p.val[v].A, B: p.val[v].B})
 		} else {
-			p.out[v] = p.val
+			p.out[v] = p.val[v]
 			for _, q := range pb.ChildPorts[v] {
-				ctx.Send(q, congest.Message{Kind: kCovDown, A: p.val.A, B: p.val.B})
+				ctx.Send(q, congest.Message{Kind: kCovDown, A: p.val[v].A, B: p.val[v].B})
 			}
 		}
 	}
 	return false
 }
 
-// pushProc is one node's block-push state.
+// pushProc is the shared block-push state machine; every per-node field of
+// the former per-node proc became a flat array indexed by the stepped node
+// (maps stay per-node, created lazily at round 0).
 type pushProc struct {
 	e        *Engine
 	inf      *Infra
 	f        congest.Combine
-	v        int
-	val      congest.Val
+	val      []congest.Val
 	deadline int64
 
-	pending    map[int64]congest.Val // accumulated, not yet forwarded up
-	order      []int64               // FIFO of parts with pending values
-	rootAgg    map[int64]congest.Val
-	rootHas    map[int64]bool
-	downQueue  map[int][]congest.Message
-	haveResult bool
-	result     congest.Val
-	finalized  bool
-	lost       bool // a value missed the schedule: baseline unsuitable here
+	pending    []map[int64]congest.Val // accumulated, not yet forwarded up
+	order      [][]int64               // FIFO of parts with pending values
+	rootAgg    []map[int64]congest.Val
+	rootHas    []map[int64]bool
+	downQueue  []map[int][]congest.Message
+	haveResult []bool
+	result     []congest.Val
+	finalized  []bool
+	lost       []bool // a value missed the schedule: baseline unsuitable here
 }
 
-func (p *pushProc) Step(ctx *congest.Ctx) bool {
-	inf, v := p.inf, p.v
+func newPushProc(e *Engine, inf *Infra, f congest.Combine, vals []congest.Val, deadline int64) *pushProc {
+	n := e.N
+	p := &pushProc{
+		e: e, inf: inf, f: f, deadline: deadline,
+		val:        make([]congest.Val, n),
+		pending:    make([]map[int64]congest.Val, n),
+		order:      make([][]int64, n),
+		rootAgg:    make([]map[int64]congest.Val, n),
+		rootHas:    make([]map[int64]bool, n),
+		downQueue:  make([]map[int][]congest.Message, n),
+		haveResult: make([]bool, n),
+		result:     make([]congest.Val, n),
+		finalized:  make([]bool, n),
+		lost:       make([]bool, n),
+	}
+	copy(p.val, vals)
+	return p
+}
+
+// Step implements congest.NodeProc.
+func (p *pushProc) Step(ctx *congest.Ctx, v int) bool {
+	inf := p.inf
 	sc := inf.SC
 	myPart := inf.In.LeaderID[v]
 	if ctx.Round() == 0 {
-		p.pending = make(map[int64]congest.Val)
-		p.rootAgg = make(map[int64]congest.Val)
-		p.rootHas = make(map[int64]bool)
-		p.downQueue = make(map[int][]congest.Message)
+		p.pending[v] = make(map[int64]congest.Val)
+		p.rootAgg[v] = make(map[int64]congest.Val)
+		p.rootHas[v] = make(map[int64]bool)
+		p.downQueue[v] = make(map[int][]congest.Message)
 		if !inf.PB.Covered[v] {
-			p.add(myPart, p.val)
+			p.add(v, myPart, p.val[v])
 		}
 	}
 	ctx.ForRecv(func(_ int, in congest.Incoming) {
 		switch in.Msg.Kind {
 		case kPushUp:
-			if p.finalized {
-				p.lost = true
+			if p.finalized[v] {
+				p.lost[v] = true
 				return
 			}
-			p.add(in.Msg.A, congest.Val{A: in.Msg.B, B: in.Msg.C})
+			p.add(v, in.Msg.A, congest.Val{A: in.Msg.B, B: in.Msg.C})
 		case kPushDown:
 			i := in.Msg.A
-			if i == myPart && !p.haveResult {
-				p.haveResult = true
-				p.result = congest.Val{A: in.Msg.B, B: in.Msg.C}
+			if i == myPart && !p.haveResult[v] {
+				p.haveResult[v] = true
+				p.result[v] = congest.Val{A: in.Msg.B, B: in.Msg.C}
 			}
 			for _, q := range sc.DownPorts[v][i] {
 				if q != in.Port {
-					p.downQueue[q] = append(p.downQueue[q], in.Msg)
+					p.downQueue[v][q] = append(p.downQueue[v][q], in.Msg)
 				}
 			}
 		}
 	})
 	// Up phase: forward one pending part's (merged) value per round; values
 	// stop at the part's block root, accumulating there.
-	if ctx.Round() < p.deadline && len(p.order) > 0 {
-		i := p.order[0]
-		val := p.pending[i]
+	if ctx.Round() < p.deadline && len(p.order[v]) > 0 {
+		i := p.order[v][0]
+		val := p.pending[v][i]
 		if sc.HasUp(v, i) {
-			p.order = p.order[1:]
-			delete(p.pending, i)
+			p.order[v] = p.order[v][1:]
+			delete(p.pending[v], i)
 			ctx.Send(p.e.Tree.ParentPort[v], congest.Message{Kind: kPushUp, A: i, B: val.A, C: val.B})
 		} else {
 			// Block root for i: fold into the root accumulator.
-			p.order = p.order[1:]
-			delete(p.pending, i)
-			if p.rootHas[i] {
-				p.rootAgg[i] = p.f(p.rootAgg[i], val)
+			p.order[v] = p.order[v][1:]
+			delete(p.pending[v], i)
+			if p.rootHas[v][i] {
+				p.rootAgg[v][i] = p.f(p.rootAgg[v][i], val)
 			} else {
-				p.rootAgg[i] = val
-				p.rootHas[i] = true
+				p.rootAgg[v][i] = val
+				p.rootHas[v][i] = true
 			}
 		}
 	}
 	// At the deadline, block roots finalize and start the down broadcast.
-	if ctx.Round() == p.deadline && !p.finalized {
-		p.finalized = true
+	if ctx.Round() == p.deadline && !p.finalized[v] {
+		p.finalized[v] = true
 		// A value still in transit at the deadline means the schedule was
 		// too tight for this instance; flag it so the caller gets an error
 		// instead of a silent wrong answer.
-		if len(p.order) > 0 {
-			p.lost = true
+		if len(p.order[v]) > 0 {
+			p.lost[v] = true
 		}
-		p.order = nil
-		p.pending = make(map[int64]congest.Val)
-		roots := make([]int64, 0, len(p.rootAgg))
-		for i := range p.rootAgg {
+		p.order[v] = nil
+		p.pending[v] = make(map[int64]congest.Val)
+		roots := make([]int64, 0, len(p.rootAgg[v]))
+		for i := range p.rootAgg[v] {
 			roots = append(roots, i)
 		}
 		sort.Slice(roots, func(a, b int) bool { return roots[a] < roots[b] })
@@ -307,46 +325,46 @@ func (p *pushProc) Step(ctx *congest.Ctx) bool {
 			if !sc.IsBlockRoot(v, i) {
 				continue
 			}
-			val := p.rootAgg[i]
-			if i == myPart && !inf.PB.Covered[v] && !p.haveResult {
-				p.haveResult = true
-				p.result = val
+			val := p.rootAgg[v][i]
+			if i == myPart && !inf.PB.Covered[v] && !p.haveResult[v] {
+				p.haveResult[v] = true
+				p.result[v] = val
 			}
 			m := congest.Message{Kind: kPushDown, A: i, B: val.A, C: val.B}
 			for _, q := range sc.DownPorts[v][i] {
-				p.downQueue[q] = append(p.downQueue[q], m)
+				p.downQueue[v][q] = append(p.downQueue[v][q], m)
 			}
 		}
 	}
 	// Down phase: one message per port per round.
 	pendingDown := false
-	ports := make([]int, 0, len(p.downQueue))
-	for q := range p.downQueue {
+	ports := make([]int, 0, len(p.downQueue[v]))
+	for q := range p.downQueue[v] {
 		ports = append(ports, q)
 	}
 	sort.Ints(ports)
 	for _, q := range ports {
-		queue := p.downQueue[q]
+		queue := p.downQueue[v][q]
 		if len(queue) == 0 {
 			continue
 		}
 		if ctx.CanSend(q) {
 			ctx.Send(q, queue[0])
-			p.downQueue[q] = queue[1:]
+			p.downQueue[v][q] = queue[1:]
 		}
-		if len(p.downQueue[q]) > 0 {
+		if len(p.downQueue[v][q]) > 0 {
 			pendingDown = true
 		}
 	}
-	return ctx.Round() <= p.deadline || len(p.order) > 0 || pendingDown
+	return ctx.Round() <= p.deadline || len(p.order[v]) > 0 || pendingDown
 }
 
-// add merges an incoming value into the per-part pending accumulator.
-func (p *pushProc) add(i int64, val congest.Val) {
-	if have, ok := p.pending[i]; ok {
-		p.pending[i] = p.f(have, val)
+// add merges an incoming value into node v's per-part pending accumulator.
+func (p *pushProc) add(v int, i int64, val congest.Val) {
+	if have, ok := p.pending[v][i]; ok {
+		p.pending[v][i] = p.f(have, val)
 		return
 	}
-	p.pending[i] = val
-	p.order = append(p.order, i)
+	p.pending[v][i] = val
+	p.order[v] = append(p.order[v], i)
 }

@@ -197,44 +197,44 @@ func (e *Engine) coreFast(inf *Infra, active []int64) error {
 	}
 	threshold := int(inf.Budget)
 	n := e.N
-	procs := e.Net.Scratch().Procs(n)
-	impls := make([]claimProc, n) // one backing array, not n tiny allocs
-	for v := 0; v < n; v++ {
-		impls[v] = claimProc{e: e, inf: inf, active: activeSet, threshold: threshold, v: v}
-		procs[v] = &impls[v]
+	cp := &claimProc{
+		e: e, inf: inf, active: activeSet, threshold: threshold,
+		processed: make([]map[int64]struct{}, n),
+		queue:     make([][]int64, n),
+		accepted:  make([]int, n),
 	}
-	_, err := e.Net.Run("core/corefast", procs, e.maxBudget())
+	_, err := e.Net.RunNodes("core/corefast", cp, e.maxBudget())
 	if err != nil {
 		return fmt.Errorf("core: corefast: %w", err)
 	}
 	return nil
 }
 
-// claimProc is one node's CoreFast state: dedup of processed parts, a FIFO
-// of claims to forward up, and the per-run congestion threshold on its
-// parent edge.
+// claimProc is the shared CoreFast state machine: per-node dedup of
+// processed parts, a FIFO of claims to forward up, and the per-run
+// congestion count on the node's parent edge — all indexed by the stepped
+// node.
 type claimProc struct {
 	e         *Engine
 	inf       *Infra
 	active    map[int64]struct{}
 	threshold int
-	v         int
 
-	processed map[int64]struct{}
-	queue     []int64
-	accepted  int // claims accepted onto the parent edge this run
+	processed []map[int64]struct{}
+	queue     [][]int64
+	accepted  []int // claims accepted onto the parent edge this run
 }
 
-func (p *claimProc) Step(ctx *congest.Ctx) bool {
+// Step implements congest.NodeProc.
+func (p *claimProc) Step(ctx *congest.Ctx, v int) bool {
 	sc := p.inf.SC
-	v := p.v
 	if ctx.Round() == 0 {
-		p.processed = make(map[int64]struct{})
+		p.processed[v] = make(map[int64]struct{})
 		// Representatives of active (uncovered) parts start a claim for
 		// their part.
 		if p.inf.Div.IsRep[v] && !p.inf.Div.WholePart[v] {
 			if _, ok := p.active[p.inf.In.LeaderID[v]]; ok {
-				p.consider(p.inf.In.LeaderID[v])
+				p.consider(v, p.inf.In.LeaderID[v])
 			}
 		}
 	}
@@ -245,33 +245,33 @@ func (p *claimProc) Step(ctx *congest.Ctx) bool {
 		i := in.Msg.A
 		// The child's edge now carries part i; remember the down-port.
 		sc.AddDownPort(v, i, in.Port)
-		p.consider(i)
+		p.consider(v, i)
 	})
 	// Forward one queued claim per round up the tree.
-	if len(p.queue) > 0 {
+	if len(p.queue[v]) > 0 {
 		pp := p.e.Tree.ParentPort[v]
-		ctx.Send(pp, congest.Message{Kind: kClaim, A: p.queue[0]})
-		p.queue = p.queue[1:]
+		ctx.Send(pp, congest.Message{Kind: kClaim, A: p.queue[v][0]})
+		p.queue[v] = p.queue[v][1:]
 	}
-	return len(p.queue) > 0
+	return len(p.queue[v]) > 0
 }
 
 // consider decides once per part whether to extend its claim over v's
 // parent edge.
-func (p *claimProc) consider(i int64) {
-	if _, done := p.processed[i]; done {
+func (p *claimProc) consider(v int, i int64) {
+	if _, done := p.processed[v][i]; done {
 		return
 	}
-	p.processed[i] = struct{}{}
-	if p.e.Tree.ParentPort[p.v] < 0 {
+	p.processed[v][i] = struct{}{}
+	if p.e.Tree.ParentPort[v] < 0 {
 		return // tree root: claims stop here
 	}
-	if p.accepted >= p.threshold {
+	if p.accepted[v] >= p.threshold {
 		return // edge full this run: part i's block roots here
 	}
-	p.accepted++
-	p.inf.SC.ClaimUp(p.v, i)
-	p.queue = append(p.queue, i)
+	p.accepted[v]++
+	p.inf.SC.ClaimUp(v, i)
+	p.queue[v] = append(p.queue[v], i)
 }
 
 // verifyParts is Algorithm 2: run the Algorithm 1 broadcast with an
@@ -281,7 +281,7 @@ func (p *claimProc) consider(i int64) {
 // check == nil all parts are read; otherwise only those listed.
 func (e *Engine) verifyParts(inf *Infra, check []int64) (map[int64]bool, error) {
 	cfg := inf.routerCfg(e, modeVerify, nil, congest.OrPair)
-	procs, err := runRouter(cfg, "core/verify", inf.runBudget(cfg))
+	run, err := runRouter(cfg, "core/verify", inf.runBudget(cfg))
 	var exceeded *congest.BudgetExceededError
 	if err != nil && !errors.As(err, &exceeded) {
 		return nil, fmt.Errorf("core: verify: %w", err)
@@ -301,7 +301,7 @@ func (e *Engine) verifyParts(inf *Infra, check []int64) (map[int64]bool, error) 
 				continue
 			}
 		}
-		p := procs[v]
+		p := &run.nodes[v]
 		passed[id] = exceeded == nil && p.gotResult && p.result.A == 0
 	}
 	if check == nil && exceeded != nil {

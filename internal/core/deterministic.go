@@ -85,44 +85,47 @@ func (e *Engine) heavyPathClaim(inf *Infra, active []int64) error {
 		activeSet[id] = struct{}{}
 	}
 	n := e.N
-	procs := e.Net.Scratch().Procs(n)
-	impls := make([]pathProc, n) // one backing array, not n tiny allocs
-	for v := 0; v < n; v++ {
-		impls[v] = pathProc{e: e, inf: inf, sched: sched, active: activeSet, v: v, threshold: 2 * inf.Budget}
-		procs[v] = &impls[v]
+	pp := &pathProc{
+		e: e, inf: inf, sched: sched, active: activeSet, threshold: 2 * inf.Budget,
+		set:       make([][]int64, n),
+		seen:      make([]map[int64]struct{}, n),
+		broken:    make([]bool, n),
+		stream:    make([][]int64, n),
+		streamDst: make([]int64, n),
+		lightQ:    make([][]int64, n),
 	}
 	budget := sched.waveLength*sched.waves + 4*inf.Budget + 256
-	if _, err := e.Net.Run("core/heavypath", procs, budget); err != nil {
+	if _, err := e.Net.RunNodes("core/heavypath", pp, budget); err != nil {
 		return fmt.Errorf("core: heavy-path construction: %w", err)
 	}
 	return nil
 }
 
-// pathProc is one node's Algorithm 7/8 state.
+// pathProc is the shared Algorithm 7/8 state machine; per-node state is
+// indexed by the stepped node (maps created lazily at round 0).
 type pathProc struct {
 	e         *Engine
 	inf       *Infra
 	sched     *pathSchedule
 	active    map[int64]struct{}
-	v         int
 	threshold int64
 
-	set       []int64            // accumulated request set (the paper's S(v))
-	seen      map[int64]struct{} // accumulation dedup
-	broken    bool               // my path-parent edge is broken
-	stream    []int64            // elements in flight on the path-parent edge
-	streamDst int64              // their destination index on my path
-	lightQ    []int64            // elements in flight on the light parent edge
+	set       [][]int64            // accumulated request set (the paper's S(v))
+	seen      []map[int64]struct{} // accumulation dedup
+	broken    []bool               // my path-parent edge is broken
+	stream    [][]int64            // elements in flight on the path-parent edge
+	streamDst []int64              // their destination index on my path
+	lightQ    [][]int64            // elements in flight on the light parent edge
 }
 
-func (p *pathProc) Step(ctx *congest.Ctx) bool {
+// Step implements congest.NodeProc.
+func (p *pathProc) Step(ctx *congest.Ctx, v int) bool {
 	h := p.e.Heavy
-	v := p.v
 	if ctx.Round() == 0 {
-		p.seen = make(map[int64]struct{})
+		p.seen[v] = make(map[int64]struct{})
 		if p.inf.Div.IsRep[v] && !p.inf.Div.WholePart[v] {
 			if _, ok := p.active[p.inf.In.LeaderID[v]]; ok {
-				p.accumulate(p.inf.In.LeaderID[v])
+				p.accumulate(v, p.inf.In.LeaderID[v])
 			}
 		}
 	}
@@ -131,7 +134,7 @@ func (p *pathProc) Step(ctx *congest.Ctx) bool {
 	inWave := round % p.sched.waveLength
 	myLevel := int64(h.Level[v])
 	if wave == myLevel {
-		p.stepOwnWave(ctx, inWave)
+		p.stepOwnWave(ctx, v, inWave)
 	}
 
 	ctx.ForRecv(func(_ int, m congest.Incoming) {
@@ -141,25 +144,24 @@ func (p *pathProc) Step(ctx *congest.Ctx) bool {
 		i := m.Msg.A
 		p.inf.SC.AddDownPort(v, i, m.Port) // the crossed edge carries part i
 		dst := m.Msg.B
-		if dst == 0 || dst <= h.Index[v] || p.broken {
+		if dst == 0 || dst <= h.Index[v] || p.broken[v] {
 			// Destination reached (0 = light-edge delivery), or the path is
 			// broken above: the set element stays here.
-			p.accumulate(i)
+			p.accumulate(v, i)
 			return
 		}
 		// Relay toward dst, claiming my parent path edge as it crosses.
-		p.stream = append(p.stream, i)
-		p.streamDst = dst
+		p.stream[v] = append(p.stream[v], i)
+		p.streamDst[v] = dst
 	})
-	p.flushStreams(ctx)
-	busy := len(p.stream) > 0 || len(p.lightQ) > 0
+	p.flushStreams(ctx, v)
+	busy := len(p.stream[v]) > 0 || len(p.lightQ[v]) > 0
 	return busy || wave <= myLevel
 }
 
 // stepOwnWave fires the node's scheduled duties during its path's wave.
-func (p *pathProc) stepOwnWave(ctx *congest.Ctx, inWave int64) {
+func (p *pathProc) stepOwnWave(ctx *congest.Ctx, v int, inWave int64) {
 	h := p.e.Heavy
-	v := p.v
 	idx := h.Index[v]
 	if !h.IsTop(v) {
 		for i := 0; i < p.sched.iters; i++ {
@@ -171,54 +173,53 @@ func (p *pathProc) stepOwnWave(ctx *congest.Ctx, inWave int64) {
 				continue
 			}
 			// My send iteration (Algorithm 7 line 4).
-			if int64(len(p.set)) >= p.threshold {
-				p.broken = true // break (v, v+1); drop the set
-				p.set = nil
+			if int64(len(p.set[v])) >= p.threshold {
+				p.broken[v] = true // break (v, v+1); drop the set
+				p.set[v] = nil
 				continue
 			}
 			dst := min(idx+step, h.Length[v])
-			p.stream = append(p.stream, p.set...)
-			p.streamDst = dst
-			p.set = nil
+			p.stream[v] = append(p.stream[v], p.set[v]...)
+			p.streamDst[v] = dst
+			p.set[v] = nil
 		}
 		return
 	}
 	// Path top: at the light window, stream the surviving set across the
 	// light parent edge (Algorithm 8 line 12). The root path's top has no
 	// parent: its set simply rests (claims end at the root).
-	if inWave == p.sched.lightStart && !p.broken && p.e.Tree.ParentPort[v] >= 0 {
-		p.lightQ = append(p.lightQ, p.set...)
-		p.set = nil
+	if inWave == p.sched.lightStart && !p.broken[v] && p.e.Tree.ParentPort[v] >= 0 {
+		p.lightQ[v] = append(p.lightQ[v], p.set[v]...)
+		p.set[v] = nil
 	}
 }
 
-func (p *pathProc) accumulate(i int64) {
-	if _, ok := p.seen[i]; ok {
+func (p *pathProc) accumulate(v int, i int64) {
+	if _, ok := p.seen[v][i]; ok {
 		return
 	}
-	p.seen[i] = struct{}{}
-	p.set = append(p.set, i)
+	p.seen[v][i] = struct{}{}
+	p.set[v] = append(p.set[v], i)
 }
 
 // flushStreams sends one element per round per edge. The path-parent and
 // light-parent edges are distinct uses of the same physical tree parent
 // port depending on whether the node tops its path, so there is no port
 // contention.
-func (p *pathProc) flushStreams(ctx *congest.Ctx) {
+func (p *pathProc) flushStreams(ctx *congest.Ctx, v int) {
 	h := p.e.Heavy
-	v := p.v
-	if len(p.stream) > 0 && !p.broken {
+	if len(p.stream[v]) > 0 && !p.broken[v] {
 		if pp := h.UpPathPort(p.e.Tree, v); pp >= 0 && ctx.CanSend(pp) {
-			part := p.stream[0]
-			p.stream = p.stream[1:]
+			part := p.stream[v][0]
+			p.stream[v] = p.stream[v][1:]
 			p.inf.SC.ClaimUp(v, part)
-			ctx.Send(pp, congest.Message{Kind: kPathClaim, A: part, B: p.streamDst})
+			ctx.Send(pp, congest.Message{Kind: kPathClaim, A: part, B: p.streamDst[v]})
 		}
 	}
-	if len(p.lightQ) > 0 {
+	if len(p.lightQ[v]) > 0 {
 		if lp := p.e.Tree.ParentPort[v]; lp >= 0 && ctx.CanSend(lp) {
-			part := p.lightQ[0]
-			p.lightQ = p.lightQ[1:]
+			part := p.lightQ[v][0]
+			p.lightQ[v] = p.lightQ[v][1:]
 			p.inf.SC.ClaimUp(v, part)
 			ctx.Send(lp, congest.Message{Kind: kPathClaim, A: part, B: 0})
 		}

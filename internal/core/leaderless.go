@@ -184,25 +184,8 @@ func (e *Engine) AdoptJoinerLeaders(chosen []int, res *subpart.StarJoinResult,
 	for v := range answer {
 		answer[v] = -1
 	}
-	procs := e.Net.Scratch().Procs(n)
-	for v := 0; v < n; v++ {
-		v := v
-		procs[v] = congest.ProcFunc(func(ctx *congest.Ctx) bool {
-			if ctx.Round() == 0 && res.Role[v] == subpart.RoleJoiner && chosen[v] >= 0 {
-				ctx.Send(chosen[v], congest.Message{Kind: kAdoptQ})
-			}
-			ctx.ForRecv(func(_ int, m congest.Incoming) {
-				switch m.Msg.Kind {
-				case kAdoptQ:
-					ctx.Send(m.Port, congest.Message{Kind: kAdoptA, A: leader[v]})
-				case kAdoptA:
-					answer[v] = m.Msg.A
-				}
-			})
-			return false
-		})
-	}
-	if _, err := e.Net.Run("core/adopt", procs, e.maxBudget()); err != nil {
+	ap := &adoptProc{res: res, chosen: chosen, leader: leader, answer: answer}
+	if _, err := e.Net.RunNodes("core/adopt", ap, e.maxBudget()); err != nil {
 		return err
 	}
 	vals := make([]congest.Val, n)
@@ -225,24 +208,54 @@ func (e *Engine) AdoptJoinerLeaders(chosen []int, res *subpart.StarJoinResult,
 // leader-ID exchange on every edge. sameGroup is flat over the CSR offsets
 // (the part.Info.SamePart shape); every entry is rewritten.
 func (e *Engine) ExchangeLeaderIDs(leader []int64, sameGroup []bool) error {
-	n := e.N
-	rs := e.Net.Graph().CSR().RowStart
-	procs := e.Net.Scratch().Procs(n)
-	for v := 0; v < n; v++ {
-		v := v
-		row := sameGroup[rs[v]:rs[v+1]]
-		procs[v] = congest.ProcFunc(func(ctx *congest.Ctx) bool {
-			if ctx.Round() == 0 {
-				ctx.Broadcast(congest.Message{Kind: kGroupX, A: leader[v]})
-			}
-			ctx.ForRecv(func(_ int, m congest.Incoming) {
-				row[m.Port] = m.Msg.A == leader[v]
-			})
-			return false
-		})
-	}
-	_, err := e.Net.Run("core/group-exchange", procs, e.maxBudget())
+	p := &groupExchangeProc{rs: e.Net.Graph().CSR().RowStart, leader: leader, sameGroup: sameGroup}
+	_, err := e.Net.RunNodes("core/group-exchange", p, e.maxBudget())
 	return err
+}
+
+// adoptProc: joiner endpoints query the far side's leader ID over the
+// chosen edge; answers land in the flat answer array.
+type adoptProc struct {
+	res    *subpart.StarJoinResult
+	chosen []int
+	leader []int64
+	answer []int64
+}
+
+// Step implements congest.NodeProc.
+func (p *adoptProc) Step(ctx *congest.Ctx, v int) bool {
+	if ctx.Round() == 0 && p.res.Role[v] == subpart.RoleJoiner && p.chosen[v] >= 0 {
+		ctx.Send(p.chosen[v], congest.Message{Kind: kAdoptQ})
+	}
+	ctx.ForRecv(func(_ int, m congest.Incoming) {
+		switch m.Msg.Kind {
+		case kAdoptQ:
+			ctx.Send(m.Port, congest.Message{Kind: kAdoptA, A: p.leader[v]})
+		case kAdoptA:
+			p.answer[v] = m.Msg.A
+		}
+	})
+	return false
+}
+
+// groupExchangeProc broadcasts leader IDs once and records same-group flags
+// into the flat CSR-offset array.
+type groupExchangeProc struct {
+	rs        []int32
+	leader    []int64
+	sameGroup []bool
+}
+
+// Step implements congest.NodeProc.
+func (p *groupExchangeProc) Step(ctx *congest.Ctx, v int) bool {
+	if ctx.Round() == 0 {
+		ctx.Broadcast(congest.Message{Kind: kGroupX, A: p.leader[v]})
+	}
+	row := p.sameGroup[p.rs[v]:p.rs[v+1]]
+	ctx.ForRecv(func(_ int, m congest.Incoming) {
+		row[m.Port] = m.Msg.A == p.leader[v]
+	})
+	return false
 }
 
 func log2(n int) int {

@@ -95,7 +95,18 @@ type queued struct {
 	msg        congest.Message
 }
 
-// routerProc is one node's router state.
+// routerRun is the router phase's shared state machine: one backing array
+// of per-node records, stepped through the node index — no per-node proc
+// objects or closures.
+type routerRun struct {
+	nodes []routerProc
+}
+
+// Step implements congest.NodeProc.
+func (r *routerRun) Step(ctx *congest.Ctx, v int) bool { return r.nodes[v].step(ctx) }
+
+// routerProc is one node's router state (a record in routerRun's backing
+// array, not an individually allocated proc).
 type routerProc struct {
 	cfg    *routerConfig
 	v      int
@@ -127,8 +138,9 @@ type routerProc struct {
 	result    congest.Val
 }
 
-func newRouterProc(cfg *routerConfig, v int) *routerProc {
-	p := &routerProc{
+// initRouterProc fills one routerRun record in place.
+func initRouterProc(p *routerProc, cfg *routerConfig, v int) {
+	*p = routerProc{
 		cfg:         cfg,
 		v:           v,
 		myPart:      cfg.in.LeaderID[v],
@@ -160,7 +172,6 @@ func newRouterProc(cfg *routerConfig, v int) *routerProc {
 		}
 	}
 	p.delay = cfg.partDelay(p.myPart)
-	return p
 }
 
 // enqueue schedules a message on a port with the discipline key for its part.
@@ -397,8 +408,8 @@ func (p *routerProc) tryComplete(round int64) {
 	}
 }
 
-// Step implements congest.Proc.
-func (p *routerProc) Step(ctx *congest.Ctx) bool {
+// step runs one round of this node's router record.
+func (p *routerProc) step(ctx *congest.Ctx) bool {
 	cfg := p.cfg
 	round := ctx.Round()
 	if !p.started && round >= p.delay {
@@ -430,15 +441,13 @@ func (p *routerProc) Step(ctx *congest.Ctx) bool {
 }
 
 // runRouter executes one router phase over the whole network and returns
-// the per-node procs for result extraction.
-func runRouter(cfg *routerConfig, name string, budget int64) ([]*routerProc, error) {
+// the run (per-node records) for result extraction.
+func runRouter(cfg *routerConfig, name string, budget int64) (*routerRun, error) {
 	n := cfg.eng.N
-	procs := cfg.eng.Net.Scratch().Procs(n)
-	impls := make([]*routerProc, n)
+	r := &routerRun{nodes: make([]routerProc, n)}
 	for v := 0; v < n; v++ {
-		impls[v] = newRouterProc(cfg, v)
-		procs[v] = impls[v]
+		initRouterProc(&r.nodes[v], cfg, v)
 	}
-	_, err := cfg.eng.Net.Run(name, procs, budget)
-	return impls, err
+	_, err := cfg.eng.Net.RunNodes(name, r, budget)
+	return r, err
 }

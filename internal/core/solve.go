@@ -39,16 +39,16 @@ func (e *Engine) SolveWithInfra(inf *Infra, vals []congest.Val, f congest.Combin
 		return nil, fmt.Errorf("core: got %d values for %d nodes", len(vals), e.N)
 	}
 	cfg := inf.routerCfg(e, modeSolve, vals, f)
-	procs, err := runRouter(cfg, "core/solve", inf.runBudget(cfg))
+	run, err := runRouter(cfg, "core/solve", inf.runBudget(cfg))
 	if err != nil {
 		return nil, fmt.Errorf("core: solve: %w", err)
 	}
 	out := &Result{Values: make([]congest.Val, e.N), Infra: inf}
 	for v := 0; v < e.N; v++ {
-		if !procs[v].gotResult {
+		if !run.nodes[v].gotResult {
 			return nil, fmt.Errorf("core: node %d missed its part's result (infrastructure bug)", v)
 		}
-		out.Values[v] = procs[v].result
+		out.Values[v] = run.nodes[v].result
 	}
 	return out, nil
 }

@@ -35,11 +35,8 @@ func KDominatingSet(e *core.Engine, k int64) (*Result, error) {
 		res.CenterID[v] = -1
 	}
 	prob := math.Min(1, 2*math.Log(float64(n)+2)/float64(k))
-	procs := make([]congest.Proc, n)
-	for v := 0; v < n; v++ {
-		procs[v] = &waveProc{res: res, v: v, k: k, prob: prob}
-	}
-	if _, err := e.Net.Run("domset/wave", procs, int64(16*n+4096)); err != nil {
+	wp := &waveProc{res: res, k: k, prob: prob, claimed: e.Net.Scratch().Bools(n)}
+	if _, err := e.Net.RunNodes("domset/wave", wp, int64(16*n+4096)); err != nil {
 		return nil, err
 	}
 	for v := 0; v < n; v++ {
@@ -55,38 +52,39 @@ func KDominatingSet(e *core.Engine, k int64) (*Result, error) {
 }
 
 // waveProc: self-elect, then adopt the first center ID heard and forward
-// the wave while within radius k.
+// the wave while within radius k. Shared across nodes; per-node state is
+// the result arrays plus the flat claimed flags.
 type waveProc struct {
 	res     *Result
-	v       int
 	k       int64
 	prob    float64
-	claimed bool
+	claimed []bool
 }
 
-func (w *waveProc) Step(ctx *congest.Ctx) bool {
+// Step implements congest.NodeProc.
+func (w *waveProc) Step(ctx *congest.Ctx, v int) bool {
 	forward := func(depth int64) {
 		if depth >= w.k {
 			return
 		}
 		for q := 0; q < ctx.Degree(); q++ {
 			if ctx.CanSend(q) {
-				ctx.Send(q, congest.Message{Kind: kindClaim, A: w.res.CenterID[w.v], B: depth + 1})
+				ctx.Send(q, congest.Message{Kind: kindClaim, A: w.res.CenterID[v], B: depth + 1})
 			}
 		}
 	}
 	if ctx.Round() == 0 && ctx.Rand().Float64() < w.prob {
-		w.claimed = true
-		w.res.IsCenter[w.v] = true
-		w.res.CenterID[w.v] = ctx.ID()
+		w.claimed[v] = true
+		w.res.IsCenter[v] = true
+		w.res.CenterID[v] = ctx.ID()
 		forward(0)
 	}
 	ctx.ForRecv(func(_ int, m congest.Incoming) {
-		if w.claimed {
+		if w.claimed[v] {
 			return
 		}
-		w.claimed = true
-		w.res.CenterID[w.v] = m.Msg.A
+		w.claimed[v] = true
+		w.res.CenterID[v] = m.Msg.A
 		forward(m.Msg.B)
 	})
 	return false

@@ -70,37 +70,37 @@ func degenerateRun(t *testing.T, g *graph.Graph, seed int64, workers int) string
 	net := congest.NewNetwork(g, seed)
 	net.SetWorkers(workers)
 	n := g.N()
-	minHeard := make([]int64, n)
+	// Shared-proc form: per-node state is the flat minHeard/digest arrays
+	// (the production NodeProc idiom, exercised here on degenerate shapes).
+	minHeard := net.Scratch().Int64s(n)
 	digest := make([]int64, n)
-	procs := make([]congest.Proc, n)
 	for v := 0; v < n; v++ {
-		v := v
 		minHeard[v] = net.ID(v)
-		procs[v] = congest.ProcFunc(func(ctx *congest.Ctx) bool {
-			for _, in := range ctx.Recv() {
-				if in.Msg.A < minHeard[v] {
-					minHeard[v] = in.Msg.A
-				}
-				digest[v] = digest[v]*1000003 + int64(in.Port)*31 + in.Msg.A%997 + ctx.Round()
+	}
+	proc := congest.NodeProcFunc(func(ctx *congest.Ctx, v int) bool {
+		for _, in := range ctx.Recv() {
+			if in.Msg.A < minHeard[v] {
+				minHeard[v] = in.Msg.A
 			}
-			if ctx.Round() < 5 {
-				if d := ctx.Degree(); d > 0 {
-					p := ctx.Rand().Intn(d)
-					ctx.Send(p, congest.Message{A: minHeard[v]})
-					if ctx.Round()%2 == 0 {
-						for q := 0; q < d; q++ {
-							if ctx.CanSend(q) {
-								ctx.Send(q, congest.Message{A: minHeard[v], B: 1})
-							}
+			digest[v] = digest[v]*1000003 + int64(in.Port)*31 + in.Msg.A%997 + ctx.Round()
+		}
+		if ctx.Round() < 5 {
+			if d := ctx.Degree(); d > 0 {
+				p := ctx.Rand().Intn(d)
+				ctx.Send(p, congest.Message{A: minHeard[v]})
+				if ctx.Round()%2 == 0 {
+					for q := 0; q < d; q++ {
+						if ctx.CanSend(q) {
+							ctx.Send(q, congest.Message{A: minHeard[v], B: 1})
 						}
 					}
 				}
-				return true
 			}
-			return false
-		})
-	}
-	if _, err := net.Run("degenerate", procs, 100); err != nil {
+			return true
+		}
+		return false
+	})
+	if _, err := net.RunNodes("degenerate", proc, 100); err != nil {
 		t.Fatalf("workers %d: %v", workers, err)
 	}
 	return fmt.Sprintf("state=%v digest=%v total=%+v phases=%+v", minHeard, digest, net.Total(), net.Phases())
@@ -114,21 +114,17 @@ func TestDegenerateComponentsStayIsolated(t *testing.T) {
 	comp, _ := g.Components()
 	for _, workers := range []int{1, 4} {
 		net := congest.NewNetwork(g, 5)
-		reached := make([]bool, g.N())
-		procs := make([]congest.Proc, g.N())
-		for v := 0; v < g.N(); v++ {
-			v := v
-			procs[v] = congest.ProcFunc(func(ctx *congest.Ctx) bool {
-				if (ctx.Round() == 0 && v == 0) || len(ctx.Recv()) > 0 {
-					if !reached[v] {
-						reached[v] = true
-						ctx.Broadcast(congest.Message{Kind: 1})
-					}
+		reached := net.Scratch().Bools(g.N())
+		proc := congest.NodeProcFunc(func(ctx *congest.Ctx, v int) bool {
+			if (ctx.Round() == 0 && v == 0) || len(ctx.Recv()) > 0 {
+				if !reached[v] {
+					reached[v] = true
+					ctx.Broadcast(congest.Message{Kind: 1})
 				}
-				return false
-			})
-		}
-		if _, err := net.RunParallel("flood", procs, 100, workers); err != nil {
+			}
+			return false
+		})
+		if _, err := net.RunNodesParallel("flood", proc, 100, workers); err != nil {
 			t.Fatal(err)
 		}
 		for v := 0; v < g.N(); v++ {

@@ -45,8 +45,8 @@ func New(n int, edges []Edge) (*Graph, error) {
 	if n < 0 {
 		return nil, errors.New("graph: negative node count")
 	}
-	if int64(n) > math.MaxInt32 || 2*int64(len(edges)) > math.MaxInt32 {
-		return nil, errors.New("graph: size exceeds int32 CSR index range")
+	if err := checkCSRIndexRange(int64(n), int64(len(edges))); err != nil {
+		return nil, err
 	}
 	g := &Graph{n: n, edges: append([]Edge(nil), edges...)}
 	seen := make(map[[2]int]struct{}, len(edges))
@@ -71,6 +71,21 @@ func New(n int, edges []Edge) (*Graph, error) {
 	}
 	g.csr = buildCSR(n, g.edges, deg)
 	return g, nil
+}
+
+// checkCSRIndexRange guards the int32 CSR layout: node indices and the 2m
+// half-edge offsets must both fit in int32, or every flat array the engine
+// layers on top of the CSR (delivery slots, port flags) would silently
+// wrap. The guard runs in New before any allocation, so an over-limit
+// request fails cleanly rather than attempting a multi-GB build first.
+// Factored out of New (with int64 parameters, so the boundary itself is
+// expressible on 32-bit platforms too) to be unit-testable without
+// materializing a 2^31-edge graph.
+func checkCSRIndexRange(n, m int64) error {
+	if n > math.MaxInt32 || 2*m > math.MaxInt32 {
+		return errors.New("graph: size exceeds int32 CSR index range")
+	}
+	return nil
 }
 
 // buildCSR lays out the ported adjacency of a validated edge list. Filling

@@ -1,0 +1,71 @@
+package graph
+
+import (
+	"math"
+	"math/bits"
+	"strings"
+	"testing"
+)
+
+// int32guard_test.go pins the int32 CSR index guard at its exact
+// boundaries. The engine's flat arrays (delivery slots, port flags,
+// wake stamps) are all indexed through the CSR's int32 offsets, so the
+// scale sweep's march toward n = 10^6+ graphs relies on this guard firing
+// cleanly — before any allocation — once a requested instance would
+// overflow the layout.
+
+// TestCSRIndexRangeBoundary drives the extracted checker across both
+// limits (node count and half-edge count) without building real graphs:
+// the last representable sizes pass, one past each fails. The checker
+// takes int64, so the over-limit cases are expressible on any platform.
+func TestCSRIndexRangeBoundary(t *testing.T) {
+	const maxN = int64(math.MaxInt32)     // largest node count whose indices fit
+	const maxM = int64(math.MaxInt32) / 2 // largest edge count with 2m half-edges in range
+	cases := []struct {
+		name string
+		n, m int64
+		ok   bool
+	}{
+		{"zero", 0, 0, true},
+		{"n-at-limit", maxN, 0, true},
+		{"n-over-limit", maxN + 1, 0, false},
+		{"m-at-limit", 4, maxM, true},
+		{"m-over-limit", 4, maxM + 1, false},
+		{"both-over", maxN + 1, maxM + 1, false},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := checkCSRIndexRange(tc.n, tc.m)
+			if tc.ok && err != nil {
+				t.Fatalf("checkCSRIndexRange(%d, %d) = %v, want nil", tc.n, tc.m, err)
+			}
+			if !tc.ok && err == nil {
+				t.Fatalf("checkCSRIndexRange(%d, %d) = nil, want error", tc.n, tc.m)
+			}
+		})
+	}
+}
+
+// TestNewRejectsOverInt32Nodes goes through the public constructor: a node
+// count past the int32 range must error out before New allocates anything
+// (the guard precedes the per-node degree array, so this test costs no
+// memory despite naming a 2^31-node graph). Only runnable where int is
+// 64-bit — on a 32-bit platform the over-limit count is not even
+// representable as an argument, which is its own guarantee.
+func TestNewRejectsOverInt32Nodes(t *testing.T) {
+	if bits.UintSize == 32 {
+		t.Skip("int cannot exceed the int32 range on a 32-bit platform")
+	}
+	over := int64(math.MaxInt32) + 1
+	n := int(over)
+	g, err := New(n, nil)
+	if err == nil {
+		t.Fatalf("New(%d, nil) succeeded, want int32 CSR guard error", n)
+	}
+	if g != nil {
+		t.Fatalf("New returned a graph alongside the error")
+	}
+	if !strings.Contains(err.Error(), "int32 CSR index range") {
+		t.Fatalf("New error %q does not name the int32 CSR guard", err)
+	}
+}

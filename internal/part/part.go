@@ -109,33 +109,13 @@ func (in *Info) SetLeaders(leaderID []int64, isLeader []bool) {
 // leaderless case is handled round-optimally by Algorithm 9 (internal/core).
 func ElectLeaders(net *congest.Network, in *Info, maxRounds int64) error {
 	n := net.N()
-	// Leaf-scoped arena use: minID is filled, read during the single Run,
+	// Leaf-scoped arena use: minID is filled, read during the single run,
 	// and copied into in.LeaderID before this function returns.
 	minID := net.Scratch().Int64s(n)
-	procs := net.Scratch().Procs(n)
 	for v := 0; v < n; v++ {
-		v := v
 		minID[v] = net.ID(v)
-		same := in.SameRow(v)
-		procs[v] = congest.ProcFunc(func(ctx *congest.Ctx) bool {
-			improved := ctx.Round() == 0
-			ctx.ForRecv(func(_ int, in2 congest.Incoming) {
-				if in2.Msg.A < minID[v] {
-					minID[v] = in2.Msg.A
-					improved = true
-				}
-			})
-			if improved {
-				for p, ok := range same {
-					if ok {
-						ctx.Send(p, congest.Message{Kind: kindElect, A: minID[v]})
-					}
-				}
-			}
-			return false
-		})
 	}
-	if _, err := net.Run("part/elect", procs, maxRounds); err != nil {
+	if _, err := net.RunNodes("part/elect", &electProc{in: in, minID: minID}, maxRounds); err != nil {
 		return err
 	}
 	for v := 0; v < n; v++ {
@@ -143,6 +123,32 @@ func ElectLeaders(net *congest.Network, in *Info, maxRounds int64) error {
 		in.IsLeader[v] = net.ID(v) == minID[v]
 	}
 	return nil
+}
+
+// electProc is the shared min-ID flood over intra-part edges: per-node
+// state is the flat minID array, indexed by the stepped node.
+type electProc struct {
+	in    *Info
+	minID []int64
+}
+
+// Step implements congest.NodeProc.
+func (p *electProc) Step(ctx *congest.Ctx, v int) bool {
+	improved := ctx.Round() == 0
+	ctx.ForRecv(func(_ int, m congest.Incoming) {
+		if m.Msg.A < p.minID[v] {
+			p.minID[v] = m.Msg.A
+			improved = true
+		}
+	})
+	if improved {
+		for q, ok := range p.in.SameRow(v) {
+			if ok {
+				ctx.Send(q, congest.Message{Kind: kindElect, A: p.minID[v]})
+			}
+		}
+	}
+	return false
 }
 
 // BFS is the outcome of a radius-capped intra-part BFS from part leaders.
@@ -198,32 +204,28 @@ func RestrictedBFS(net *congest.Network, in *Info, radius int64, maxRounds int64
 		count:        make([]int64, n),
 		reported:     make([]bool, n),
 	}
-	procs := net.Scratch().Procs(n)
 	for v := 0; v < n; v++ {
 		b.ParentPort[v] = -1
 		b.Depth[v] = -1
-		procs[v] = &bfsJoinProc{st: st, v: v}
 	}
-	if _, err := net.Run("part/bfs-join", procs, maxRounds); err != nil {
+	if _, err := net.RunNodes("part/bfs-join", &bfsJoinProc{st: st}, maxRounds); err != nil {
 		return nil, err
 	}
-	for v := 0; v < n; v++ {
-		procs[v] = &bfsVerdictProc{st: st, v: v}
-	}
-	if _, err := net.Run("part/bfs-verdict", procs, maxRounds); err != nil {
+	if _, err := net.RunNodes("part/bfs-verdict", &bfsVerdictProc{st: st}, maxRounds); err != nil {
 		return nil, err
 	}
 	return b, nil
 }
 
-// bfsJoinProc: stage 1 (join wave + child registration).
+// bfsJoinProc: stage 1 (join wave + child registration). Shared across
+// nodes; all per-node state lives in bfsState's flat arrays.
 type bfsJoinProc struct {
 	st *bfsState
-	v  int
 }
 
-func (p *bfsJoinProc) Step(ctx *congest.Ctx) bool {
-	st, v := p.st, p.v
+// Step implements congest.NodeProc.
+func (p *bfsJoinProc) Step(ctx *congest.Ctx, v int) bool {
+	st := p.st
 	same := st.in.SameRow(v)
 	join := func(depth int64) {
 		st.b.Joined[v] = true
@@ -260,11 +262,11 @@ func (p *bfsJoinProc) Step(ctx *congest.Ctx) bool {
 // pendingChild now holds the number of children that will report.
 type bfsVerdictProc struct {
 	st *bfsState
-	v  int
 }
 
-func (p *bfsVerdictProc) Step(ctx *congest.Ctx) bool {
-	st, v := p.st, p.v
+// Step implements congest.NodeProc.
+func (p *bfsVerdictProc) Step(ctx *congest.Ctx, v int) bool {
+	st := p.st
 	if ctx.Round() == 0 {
 		if !st.b.Joined[v] {
 			// Complain to intra-part neighbors; some joined neighbor exists

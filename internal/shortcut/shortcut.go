@@ -110,31 +110,27 @@ func (s *Shortcut) UpParts(v int) []int64 {
 // messages.
 func SetupBlocks(net *congest.Network, s *Shortcut, maxRounds int64) error {
 	n := net.N()
-	procs := net.Scratch().Procs(n)
-	impls := make([]setupProc, n) // one backing array, not n tiny allocs
-	for v := 0; v < n; v++ {
-		impls[v] = setupProc{s: s, v: v}
-		procs[v] = &impls[v]
-	}
-	_, err := net.Run("shortcut/setup", procs, maxRounds)
+	sp := &setupProc{s: s, queues: make([]map[int][]congest.Message, n)}
+	_, err := net.RunNodes("shortcut/setup", sp, maxRounds)
 	return err
 }
 
-// setupProc drives the block-setup pass at one node: a per-port FIFO queue
-// of pending setup messages, one send per port per round.
+// setupProc drives the block-setup pass: a per-(node, port) FIFO queue of
+// pending setup messages, one send per port per round. Shared across nodes;
+// queues[v] is node v's per-port queue map, created lazily at round 0.
 type setupProc struct {
 	s      *Shortcut
-	v      int
-	queues map[int][]congest.Message
+	queues []map[int][]congest.Message
 }
 
-func (p *setupProc) Step(ctx *congest.Ctx) bool {
-	s, v := p.s, p.v
+// Step implements congest.NodeProc.
+func (p *setupProc) Step(ctx *congest.Ctx, v int) bool {
+	s := p.s
 	if ctx.Round() == 0 {
 		// Block roots (on the block, no up-claim) start the downward pass;
 		// block leaves (up-claim only) wait to hear from above. Parts are
 		// visited in sorted order for deterministic scheduling.
-		p.queues = make(map[int][]congest.Message)
+		p.queues[v] = make(map[int][]congest.Message)
 		parts := make([]int64, 0, len(s.DownPorts[v]))
 		for i := range s.DownPorts[v] {
 			parts = append(parts, i)
@@ -145,7 +141,7 @@ func (p *setupProc) Step(ctx *congest.Ctx) bool {
 				meta := BlockMeta{RootDepth: int64(s.T.Depth[v]), RootID: ctx.ID()}
 				s.Meta[v][i] = meta
 				for _, q := range s.DownPorts[v][i] {
-					p.enqueue(q, congest.Message{Kind: kindBlockSetup, A: i, B: meta.RootDepth, C: meta.RootID})
+					p.enqueue(v, q, congest.Message{Kind: kindBlockSetup, A: i, B: meta.RootDepth, C: meta.RootID})
 				}
 			}
 		}
@@ -160,35 +156,36 @@ func (p *setupProc) Step(ctx *congest.Ctx) bool {
 		}
 		s.Meta[v][i] = BlockMeta{RootDepth: m.Msg.B, RootID: m.Msg.C}
 		for _, q := range s.DownPorts[v][i] {
-			p.enqueue(q, congest.Message{Kind: kindBlockSetup, A: i, B: m.Msg.B, C: m.Msg.C})
+			p.enqueue(v, q, congest.Message{Kind: kindBlockSetup, A: i, B: m.Msg.B, C: m.Msg.C})
 		}
 	})
-	return p.flush(ctx)
+	return p.flush(ctx, v)
 }
 
-func (p *setupProc) enqueue(port int, m congest.Message) {
-	p.queues[port] = append(p.queues[port], m)
+func (p *setupProc) enqueue(v, port int, m congest.Message) {
+	p.queues[v][port] = append(p.queues[v][port], m)
 }
 
 // flush sends one queued message per port (ports in sorted order for
 // determinism) and reports whether work remains.
-func (p *setupProc) flush(ctx *congest.Ctx) bool {
+func (p *setupProc) flush(ctx *congest.Ctx, v int) bool {
 	pending := false
-	ports := make([]int, 0, len(p.queues))
-	for port := range p.queues {
+	queues := p.queues[v]
+	ports := make([]int, 0, len(queues))
+	for port := range queues {
 		ports = append(ports, port)
 	}
 	sort.Ints(ports)
 	for _, port := range ports {
-		q := p.queues[port]
+		q := queues[port]
 		if len(q) == 0 {
 			continue
 		}
 		if ctx.CanSend(port) {
 			ctx.Send(port, q[0])
-			p.queues[port] = q[1:]
+			queues[port] = q[1:]
 		}
-		if len(p.queues[port]) > 0 {
+		if len(queues[port]) > 0 {
 			pending = true
 		}
 	}

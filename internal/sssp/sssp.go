@@ -34,32 +34,38 @@ func BellmanFord(e *core.Engine, src int) (*Result, error) {
 	for v := range dist {
 		dist[v] = unreached
 	}
-	procs := e.Net.Scratch().Procs(n)
-	for v := 0; v < n; v++ {
-		v := v
-		procs[v] = congest.ProcFunc(func(ctx *congest.Ctx) bool {
-			improved := false
-			if ctx.Round() == 0 && v == src {
-				dist[v] = 0
-				improved = true
-			}
-			g := e.Net.Graph()
-			ctx.ForRecv(func(_ int, m congest.Incoming) {
-				if nd := m.Msg.A + int64(g.EdgeWeight(v, m.Port)); nd < dist[v] {
-					dist[v] = nd
-					improved = true
-				}
-			})
-			if improved {
-				ctx.Broadcast(congest.Message{Kind: kindRelax, A: dist[v]})
-			}
-			return false
-		})
-	}
-	if _, err := e.Net.Run("sssp/bellman-ford", procs, int64(16*n+4096)); err != nil {
+	bf := &bellmanFordProc{g: e.Net.Graph(), src: src, dist: dist}
+	if _, err := e.Net.RunNodes("sssp/bellman-ford", bf, int64(16*n+4096)); err != nil {
 		return nil, err
 	}
 	return &Result{Dist: dist}, nil
+}
+
+// bellmanFordProc is the shared relax-and-announce state machine; per-node
+// state is the flat dist array.
+type bellmanFordProc struct {
+	g    *graph.Graph
+	src  int
+	dist []int64
+}
+
+// Step implements congest.NodeProc.
+func (p *bellmanFordProc) Step(ctx *congest.Ctx, v int) bool {
+	improved := false
+	if ctx.Round() == 0 && v == p.src {
+		p.dist[v] = 0
+		improved = true
+	}
+	ctx.ForRecv(func(_ int, m congest.Incoming) {
+		if nd := m.Msg.A + int64(p.g.EdgeWeight(v, m.Port)); nd < p.dist[v] {
+			p.dist[v] = nd
+			improved = true
+		}
+	})
+	if improved {
+		ctx.Broadcast(congest.Message{Kind: kindRelax, A: p.dist[v]})
+	}
+	return false
 }
 
 // Approx computes upper-bound distance estimates via light-edge contraction.
@@ -209,33 +215,40 @@ func lightPartition(e *core.Engine, theta int64) *part.Info {
 // flags.
 func relaxRound(e *core.Engine, in *part.Info, est, arrival []int64) ([]bool, error) {
 	n := e.N
-	g := e.Net.Graph()
 	changed := make([]bool, n)
-	procs := e.Net.Scratch().Procs(n)
-	for v := 0; v < n; v++ {
-		v := v
-		same := in.SameRow(v)
-		procs[v] = congest.ProcFunc(func(ctx *congest.Ctx) bool {
-			if ctx.Round() == 0 && est[v] < unreached {
-				for q, ok := range same {
-					if !ok {
-						ctx.Send(q, congest.Message{Kind: kindRelax, A: est[v]})
-					}
-				}
-			}
-			ctx.ForRecv(func(_ int, m congest.Incoming) {
-				if nd := m.Msg.A + int64(g.EdgeWeight(v, m.Port)); nd < arrival[v] && nd < est[v] {
-					arrival[v] = nd
-					changed[v] = true
-				}
-			})
-			return false
-		})
-	}
-	if _, err := e.Net.Run("sssp/relax", procs, int64(16*n+4096)); err != nil {
+	rp := &relaxProc{g: e.Net.Graph(), in: in, est: est, arrival: arrival, changed: changed}
+	if _, err := e.Net.RunNodes("sssp/relax", rp, int64(16*n+4096)); err != nil {
 		return nil, err
 	}
 	return changed, nil
+}
+
+// relaxProc announces estimates across cluster-leaving edges once and
+// relaxes receivers; per-node state lives in the est/arrival/changed arrays.
+type relaxProc struct {
+	g       *graph.Graph
+	in      *part.Info
+	est     []int64
+	arrival []int64
+	changed []bool
+}
+
+// Step implements congest.NodeProc.
+func (p *relaxProc) Step(ctx *congest.Ctx, v int) bool {
+	if ctx.Round() == 0 && p.est[v] < unreached {
+		for q, ok := range p.in.SameRow(v) {
+			if !ok {
+				ctx.Send(q, congest.Message{Kind: kindRelax, A: p.est[v]})
+			}
+		}
+	}
+	ctx.ForRecv(func(_ int, m congest.Incoming) {
+		if nd := m.Msg.A + int64(p.g.EdgeWeight(v, m.Port)); nd < p.arrival[v] && nd < p.est[v] {
+			p.arrival[v] = nd
+			p.changed[v] = true
+		}
+	})
+	return false
 }
 
 // globalOr aggregates per-node flags on the engine tree; every node learns

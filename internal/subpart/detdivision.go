@@ -215,29 +215,37 @@ func denseFromReps(net *congest.Network, div *Division) []int {
 // entry of both buffers is rewritten — callers may reuse them uncleaned).
 func exchangeSubInfo(net *congest.Network, div *Division, complete []bool,
 	nbrRep []int64, nbrComplete []bool, maxRounds int64) error {
-	n := net.N()
-	procs := net.Scratch().Procs(n)
-	for v := 0; v < n; v++ {
-		v := v
-		repRow := nbrRep[div.Row[v]:div.Row[v+1]]
-		compRow := nbrComplete[div.Row[v]:div.Row[v+1]]
-		procs[v] = congest.ProcFunc(func(ctx *congest.Ctx) bool {
-			if ctx.Round() == 0 {
-				flag := int64(0)
-				if complete[v] {
-					flag = 1
-				}
-				ctx.Broadcast(congest.Message{Kind: kindSubInfo, A: div.RepID[v], B: flag})
-			}
-			ctx.ForRecv(func(_ int, m congest.Incoming) {
-				repRow[m.Port] = m.Msg.A
-				compRow[m.Port] = m.Msg.B != 0
-			})
-			return false
-		})
-	}
-	_, err := net.Run("subpart/subinfo", procs, maxRounds)
+	p := &subInfoProc{div: div, complete: complete, nbrRep: nbrRep, nbrComplete: nbrComplete}
+	_, err := net.RunNodes("subpart/subinfo", p, maxRounds)
 	return err
+}
+
+// subInfoProc broadcasts (rep ID, completeness) on all ports into the flat
+// CSR-offset neighbor-knowledge buffers.
+type subInfoProc struct {
+	div         *Division
+	complete    []bool
+	nbrRep      []int64
+	nbrComplete []bool
+}
+
+// Step implements congest.NodeProc.
+func (p *subInfoProc) Step(ctx *congest.Ctx, v int) bool {
+	div := p.div
+	if ctx.Round() == 0 {
+		flag := int64(0)
+		if p.complete[v] {
+			flag = 1
+		}
+		ctx.Broadcast(congest.Message{Kind: kindSubInfo, A: div.RepID[v], B: flag})
+	}
+	repRow := p.nbrRep[div.Row[v]:div.Row[v+1]]
+	compRow := p.nbrComplete[div.Row[v]:div.Row[v+1]]
+	ctx.ForRecv(func(_ int, m congest.Incoming) {
+		repRow[m.Port] = m.Msg.A
+		compRow[m.Port] = m.Msg.B != 0
+	})
+	return false
 }
 
 // attachRound: joiner endpoints query the far side's rep ID over the
@@ -246,30 +254,37 @@ func exchangeSubInfo(net *congest.Network, div *Division, complete []bool,
 // rerootJoiners.
 func attachRound(net *congest.Network, chosen []int, div *Division, sj *StarJoinResult,
 	newRep []congest.Val, maxRounds int64) error {
-	n := net.N()
 	for v := range newRep {
 		newRep[v] = congest.Val{A: negInf}
 	}
-	procs := net.Scratch().Procs(n)
-	for v := 0; v < n; v++ {
-		v := v
-		procs[v] = congest.ProcFunc(func(ctx *congest.Ctx) bool {
-			if ctx.Round() == 0 && sj.Role[v] == RoleJoiner && chosen[v] >= 0 {
-				ctx.Send(chosen[v], congest.Message{Kind: kindAttach})
-			}
-			ctx.ForRecv(func(_ int, m congest.Incoming) {
-				switch m.Msg.Kind {
-				case kindAttach:
-					ctx.Send(m.Port, congest.Message{Kind: kindAttachAck, A: div.RepID[v]})
-				case kindAttachAck:
-					newRep[v] = congest.Val{A: m.Msg.A}
-				}
-			})
-			return false
-		})
-	}
-	_, err := net.Run("subpart/attach", procs, maxRounds)
+	p := &attachProc{div: div, sj: sj, chosen: chosen, newRep: newRep}
+	_, err := net.RunNodes("subpart/attach", p, maxRounds)
 	return err
+}
+
+// attachProc: joiner endpoints query the far side's rep ID over the chosen
+// edge; answers land in the flat newRep array.
+type attachProc struct {
+	div    *Division
+	sj     *StarJoinResult
+	chosen []int
+	newRep []congest.Val
+}
+
+// Step implements congest.NodeProc.
+func (p *attachProc) Step(ctx *congest.Ctx, v int) bool {
+	if ctx.Round() == 0 && p.sj.Role[v] == RoleJoiner && p.chosen[v] >= 0 {
+		ctx.Send(p.chosen[v], congest.Message{Kind: kindAttach})
+	}
+	ctx.ForRecv(func(_ int, m congest.Incoming) {
+		switch m.Msg.Kind {
+		case kindAttach:
+			ctx.Send(m.Port, congest.Message{Kind: kindAttachAck, A: p.div.RepID[v]})
+		case kindAttachAck:
+			p.newRep[v] = congest.Val{A: m.Msg.A}
+		}
+	})
+	return false
 }
 
 // rerootJoiners re-roots each joiner sub-part's tree at its attachment
@@ -277,67 +292,77 @@ func attachRound(net *congest.Network, chosen []int, div *Division, sj *StarJoin
 // inverts parent pointers along the path to the old representative) and
 // registers the endpoint as a child on the receiver side (ATTACH).
 func rerootJoiners(net *congest.Network, div *Division, chosen []int, sj *StarJoinResult, maxRounds int64) error {
-	n := net.N()
-	procs := net.Scratch().Procs(n)
-	for v := 0; v < n; v++ {
-		v := v
-		procs[v] = congest.ProcFunc(func(ctx *congest.Ctx) bool {
-			flip := func(newParent int) {
-				old := div.ParentPort[v]
-				div.ParentPort[v] = newParent
-				if old >= 0 {
-					ctx.Send(old, congest.Message{Kind: kindFlip})
-					div.ChildPorts[v] = append(div.ChildPorts[v], old)
-				}
-				div.IsRep[v] = false
-			}
-			if ctx.Round() == 0 && sj.Role[v] == RoleJoiner && chosen[v] >= 0 {
-				ctx.Send(chosen[v], congest.Message{Kind: kindAttach})
-				flip(chosen[v])
-			}
-			ctx.ForRecv(func(_ int, m congest.Incoming) {
-				switch m.Msg.Kind {
-				case kindAttach:
-					// A joiner endpoint hangs below me now.
-					div.ChildPorts[v] = append(div.ChildPorts[v], m.Port)
-				case kindFlip:
-					// A FLIP from port q: the sender becomes my parent and
-					// leaves my children.
-					div.ChildPorts[v] = removePort(div.ChildPorts[v], m.Port)
-					flip(m.Port)
-				}
-			})
-			return false
-		})
-	}
-	_, err := net.Run("subpart/reroot", procs, maxRounds)
+	p := &rerootProc{div: div, sj: sj, chosen: chosen}
+	_, err := net.RunNodes("subpart/reroot", p, maxRounds)
 	return err
+}
+
+// rerootProc re-roots joiner trees at their chosen endpoints via FLIP waves
+// and registers endpoints as children on the receiver side.
+type rerootProc struct {
+	div    *Division
+	sj     *StarJoinResult
+	chosen []int
+}
+
+// Step implements congest.NodeProc.
+func (p *rerootProc) Step(ctx *congest.Ctx, v int) bool {
+	div := p.div
+	flip := func(newParent int) {
+		old := div.ParentPort[v]
+		div.ParentPort[v] = newParent
+		if old >= 0 {
+			ctx.Send(old, congest.Message{Kind: kindFlip})
+			div.ChildPorts[v] = append(div.ChildPorts[v], old)
+		}
+		div.IsRep[v] = false
+	}
+	if ctx.Round() == 0 && p.sj.Role[v] == RoleJoiner && p.chosen[v] >= 0 {
+		ctx.Send(p.chosen[v], congest.Message{Kind: kindAttach})
+		flip(p.chosen[v])
+	}
+	ctx.ForRecv(func(_ int, m congest.Incoming) {
+		switch m.Msg.Kind {
+		case kindAttach:
+			// A joiner endpoint hangs below me now.
+			div.ChildPorts[v] = append(div.ChildPorts[v], m.Port)
+		case kindFlip:
+			// A FLIP from port q: the sender becomes my parent and
+			// leaves my children.
+			div.ChildPorts[v] = removePort(div.ChildPorts[v], m.Port)
+			flip(m.Port)
+		}
+	})
+	return false
 }
 
 // computeDepths broadcasts depths down the final sub-part trees.
 func computeDepths(net *congest.Network, div *Division, maxRounds int64) error {
-	n := net.N()
-	procs := net.Scratch().Procs(n)
-	for v := 0; v < n; v++ {
-		v := v
-		procs[v] = congest.ProcFunc(func(ctx *congest.Ctx) bool {
-			down := func(depth int64) {
-				div.Depth[v] = int(depth)
-				for _, q := range div.ChildPorts[v] {
-					ctx.Send(q, congest.Message{Kind: kindDepthDown, A: depth + 1})
-				}
-			}
-			if ctx.Round() == 0 && div.IsRep[v] {
-				down(0)
-			}
-			ctx.ForRecv(func(_ int, m congest.Incoming) {
-				down(m.Msg.A)
-			})
-			return false
-		})
-	}
-	_, err := net.Run("subpart/depths", procs, maxRounds)
+	_, err := net.RunNodes("subpart/depths", &depthsProc{div: div}, maxRounds)
 	return err
+}
+
+// depthsProc floods depths down from each representative.
+type depthsProc struct {
+	div *Division
+}
+
+// Step implements congest.NodeProc.
+func (p *depthsProc) Step(ctx *congest.Ctx, v int) bool {
+	div := p.div
+	down := func(depth int64) {
+		div.Depth[v] = int(depth)
+		for _, q := range div.ChildPorts[v] {
+			ctx.Send(q, congest.Message{Kind: kindDepthDown, A: depth + 1})
+		}
+	}
+	if ctx.Round() == 0 && div.IsRep[v] {
+		down(0)
+	}
+	ctx.ForRecv(func(_ int, m congest.Incoming) {
+		down(m.Msg.A)
+	})
+	return false
 }
 
 func removePort(ports []int, q int) []int {

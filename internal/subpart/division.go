@@ -88,11 +88,9 @@ func RandomDivision(net *congest.Network, in *part.Info, pb *part.BFS, d int64, 
 	// min{1, log n / D}; the singleton fallback below covers the 1/poly(n)
 	// failure probability unconditionally.
 	prob := math.Min(1, math.Log(float64(n)+2)/float64(d))
-	procs := net.Scratch().Procs(n)
-	for v := 0; v < n; v++ {
-		procs[v] = &waveProc{net: net, in: in, div: div, covered: pb.Covered[v], v: v, d: d, prob: prob}
-	}
-	if _, err := net.Run("subpart/wave", procs, maxRounds); err != nil {
+	wp := &waveProc{in: in, div: div, covered: pb.Covered, d: d, prob: prob,
+		claimed: make([]bool, n)}
+	if _, err := net.RunNodes("subpart/wave", wp, maxRounds); err != nil {
 		return nil, err
 	}
 
@@ -110,25 +108,25 @@ func RandomDivision(net *congest.Network, in *part.Info, pb *part.BFS, d int64, 
 	return div, nil
 }
 
-// waveProc implements the Algorithm 3 wave on one node: self-elect with
-// probability prob, then adopt the first representative ID heard, register
-// as a child, and forward the wave within the ball of radius d.
+// waveProc implements the Algorithm 3 wave: self-elect with probability
+// prob, then adopt the first representative ID heard, register as a child,
+// and forward the wave within the ball of radius d. Shared across nodes;
+// per-node state is the division plus the flat covered/claimed arrays.
 type waveProc struct {
-	net     *congest.Network
 	in      *part.Info
 	div     *Division
-	v       int
 	d       int64
 	prob    float64
-	covered bool
-	claimed bool
+	covered []bool
+	claimed []bool
 }
 
-func (w *waveProc) Step(ctx *congest.Ctx) bool {
-	if w.covered {
+// Step implements congest.NodeProc.
+func (w *waveProc) Step(ctx *congest.Ctx, v int) bool {
+	if w.covered[v] {
 		return false
 	}
-	div, v := w.div, w.v
+	div := w.div
 	same := w.in.SameRow(v)
 	forward := func(depth int64) {
 		if depth >= w.d {
@@ -141,7 +139,7 @@ func (w *waveProc) Step(ctx *congest.Ctx) bool {
 		}
 	}
 	if ctx.Round() == 0 && ctx.Rand().Float64() < w.prob {
-		w.claimed = true
+		w.claimed[v] = true
 		div.IsRep[v] = true
 		div.RepID[v] = ctx.ID()
 		div.Depth[v] = 0
@@ -150,10 +148,10 @@ func (w *waveProc) Step(ctx *congest.Ctx) bool {
 	ctx.ForRecv(func(_ int, m congest.Incoming) {
 		switch m.Msg.Kind {
 		case kindClaim:
-			if w.claimed {
+			if w.claimed[v] {
 				return
 			}
-			w.claimed = true
+			w.claimed[v] = true
 			div.RepID[v] = m.Msg.A
 			div.ParentPort[v] = m.Port
 			div.Depth[v] = int(m.Msg.B)
@@ -171,28 +169,32 @@ func (w *waveProc) Step(ctx *congest.Ctx) bool {
 // inside a sub-part (needed for Algorithm 1's exit-edge broadcasts).
 // One round, O(Σ_i m_i) messages.
 func exchangeReps(net *congest.Network, in *part.Info, div *Division, maxRounds int64) error {
-	n := net.N()
-	procs := net.Scratch().Procs(n)
-	for v := 0; v < n; v++ {
-		v := v
-		subRow := div.SameSubRow(v)
-		same := in.SameRow(v)
-		procs[v] = congest.ProcFunc(func(ctx *congest.Ctx) bool {
-			if ctx.Round() == 0 {
-				for q, ok := range same {
-					if ok {
-						ctx.Send(q, congest.Message{Kind: kindRepExchange, A: div.RepID[v]})
-					}
-				}
-			}
-			ctx.ForRecv(func(_ int, m congest.Incoming) {
-				subRow[m.Port] = m.Msg.A == div.RepID[v]
-			})
-			return false
-		})
-	}
-	_, err := net.Run("subpart/exchange", procs, maxRounds)
+	_, err := net.RunNodes("subpart/exchange", &repExchangeProc{in: in, div: div}, maxRounds)
 	return err
+}
+
+// repExchangeProc announces RepID across intra-part edges and records
+// same-sub-part flags into the division's flat SameSub array.
+type repExchangeProc struct {
+	in  *part.Info
+	div *Division
+}
+
+// Step implements congest.NodeProc.
+func (p *repExchangeProc) Step(ctx *congest.Ctx, v int) bool {
+	div := p.div
+	if ctx.Round() == 0 {
+		for q, ok := range p.in.SameRow(v) {
+			if ok {
+				ctx.Send(q, congest.Message{Kind: kindRepExchange, A: div.RepID[v]})
+			}
+		}
+	}
+	subRow := div.SameSubRow(v)
+	ctx.ForRecv(func(_ int, m congest.Incoming) {
+		subRow[m.Port] = m.Msg.A == div.RepID[v]
+	})
+	return false
 }
 
 // Validate checks division invariants engine-side (test/diagnostic aid):

@@ -14,6 +14,10 @@ type ForestAgg struct {
 	Div *Division
 	// Budget caps each run.
 	Budget int64
+
+	// Call-lifetime proc state, reused across Aggregate calls (Algorithm 6
+	// makes O(log n) of them per level); every entry is rewritten per call.
+	proc *forestAggProc
 }
 
 var _ Agg = (*ForestAgg)(nil)
@@ -28,38 +32,47 @@ const (
 func (fa *ForestAgg) Aggregate(vals []congest.Val, f congest.Combine) ([]congest.Val, error) {
 	n := fa.Net.N()
 	out := make([]congest.Val, n)
-	procs := fa.Net.Scratch().Procs(n)
-	impls := make([]forestAggProc, n) // one backing array, not n tiny allocs
-	for v := 0; v < n; v++ {
-		impls[v] = forestAggProc{div: fa.Div, f: f, v: v, acc: vals[v], out: out}
-		procs[v] = &impls[v]
+	if fa.proc == nil {
+		fa.proc = &forestAggProc{
+			div:     fa.Div,
+			acc:     make([]congest.Val, n),
+			waiting: make([]int, n),
+			fired:   make([]bool, n),
+		}
 	}
-	if _, err := fa.Net.Run("subpart/forest-agg", procs, fa.Budget); err != nil {
+	p := fa.proc
+	p.f, p.out = f, out
+	copy(p.acc, vals)
+	for v := 0; v < n; v++ {
+		p.waiting[v] = len(fa.Div.ChildPorts[v])
+		p.fired[v] = false
+	}
+	defer func() { p.f, p.out = nil, nil }() // drop call-scoped references on every path
+	if _, err := fa.Net.RunNodes("subpart/forest-agg", p, fa.Budget); err != nil {
 		return nil, err
 	}
 	return out, nil
 }
 
+// forestAggProc is the shared convergecast + broadcast state machine over
+// the sub-part forest; per-node state is the flat acc/waiting/fired arrays.
 type forestAggProc struct {
 	div     *Division
 	f       congest.Combine
-	v       int
-	acc     congest.Val
 	out     []congest.Val
-	waiting int
-	fired   bool
+	acc     []congest.Val
+	waiting []int
+	fired   []bool
 }
 
-func (p *forestAggProc) Step(ctx *congest.Ctx) bool {
-	div, v := p.div, p.v
-	if ctx.Round() == 0 {
-		p.waiting = len(div.ChildPorts[v])
-	}
+// Step implements congest.NodeProc.
+func (p *forestAggProc) Step(ctx *congest.Ctx, v int) bool {
+	div := p.div
 	ctx.ForRecv(func(_ int, m congest.Incoming) {
 		switch m.Msg.Kind {
 		case kindForestUp:
-			p.acc = p.f(p.acc, congest.Val{A: m.Msg.A, B: m.Msg.B})
-			p.waiting--
+			p.acc[v] = p.f(p.acc[v], congest.Val{A: m.Msg.A, B: m.Msg.B})
+			p.waiting[v]--
 		case kindForestDown:
 			p.out[v] = congest.Val{A: m.Msg.A, B: m.Msg.B}
 			for _, q := range div.ChildPorts[v] {
@@ -67,14 +80,14 @@ func (p *forestAggProc) Step(ctx *congest.Ctx) bool {
 			}
 		}
 	})
-	if p.waiting == 0 && !p.fired {
-		p.fired = true
+	if p.waiting[v] == 0 && !p.fired[v] {
+		p.fired[v] = true
 		if pp := div.ParentPort[v]; pp >= 0 {
-			ctx.Send(pp, congest.Message{Kind: kindForestUp, A: p.acc.A, B: p.acc.B})
+			ctx.Send(pp, congest.Message{Kind: kindForestUp, A: p.acc[v].A, B: p.acc[v].B})
 		} else {
-			p.out[v] = p.acc
+			p.out[v] = p.acc[v]
 			for _, q := range div.ChildPorts[v] {
-				ctx.Send(q, congest.Message{Kind: kindForestDown, A: p.acc.A, B: p.acc.B})
+				ctx.Send(q, congest.Message{Kind: kindForestDown, A: p.acc[v].A, B: p.acc[v].B})
 			}
 		}
 	}

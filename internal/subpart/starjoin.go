@@ -154,22 +154,23 @@ func StarJoin(net *congest.Network, in *part.Info, chosenPort []int, agg Agg, de
 // pointRound: each chosen endpoint sends POINT over its chosen port; the
 // far endpoint records the port.
 func (st *joinState) pointRound(net *congest.Network, maxRounds int64) error {
-	n := net.N()
-	procs := net.Scratch().Procs(n)
-	for v := 0; v < n; v++ {
-		v := v
-		procs[v] = congest.ProcFunc(func(ctx *congest.Ctx) bool {
-			if ctx.Round() == 0 && st.chosenPort[v] >= 0 {
-				ctx.Send(st.chosenPort[v], congest.Message{Kind: kindPoint})
-			}
-			ctx.ForRecv(func(_ int, m congest.Incoming) {
-				st.pointedPorts[v] = append(st.pointedPorts[v], m.Port)
-			})
-			return false
-		})
-	}
-	_, err := net.Run("subpart/point", procs, maxRounds)
+	_, err := net.RunNodes("subpart/point", (*pointProc)(st), maxRounds)
 	return err
+}
+
+// pointProc is joinState viewed as the POINT round's shared state machine.
+type pointProc joinState
+
+// Step implements congest.NodeProc.
+func (p *pointProc) Step(ctx *congest.Ctx, v int) bool {
+	st := (*joinState)(p)
+	if ctx.Round() == 0 && st.chosenPort[v] >= 0 {
+		ctx.Send(st.chosenPort[v], congest.Message{Kind: kindPoint})
+	}
+	ctx.ForRecv(func(_ int, m congest.Incoming) {
+		st.pointedPorts[v] = append(st.pointedPorts[v], m.Port)
+	})
+	return false
 }
 
 // exchangeRound: active endpoints forward (FWD, myColor, myFlags) over the
@@ -186,29 +187,32 @@ func (st *joinState) exchangeRound(net *congest.Network, maxRounds int64) error 
 		st.backColor[v], st.backFlags[v] = 0, 0
 		st.havePred[v], st.predColor[v] = false, 0
 	}
-	procs := net.Scratch().Procs(n)
-	for v := 0; v < n; v++ {
-		v := v
-		procs[v] = congest.ProcFunc(func(ctx *congest.Ctx) bool {
-			if ctx.Round() == 0 && st.chosenPort[v] >= 0 && st.sendFwd[v] {
-				ctx.Send(st.chosenPort[v], congest.Message{Kind: kindForward, A: st.color[v], B: st.flags[v]})
-			}
-			ctx.ForRecv(func(_ int, m congest.Incoming) {
-				switch m.Msg.Kind {
-				case kindForward:
-					st.havePred[v] = true
-					st.predColor[v] = m.Msg.A
-					ctx.Send(m.Port, congest.Message{Kind: kindBack, A: st.color[v], B: st.flags[v]})
-				case kindBack:
-					st.backColor[v] = m.Msg.A
-					st.backFlags[v] = m.Msg.B
-				}
-			})
-			return false
-		})
-	}
-	_, err := net.Run("subpart/exchange", procs, maxRounds)
+	_, err := net.RunNodes("subpart/exchange", (*exchangeProc)(st), maxRounds)
 	return err
+}
+
+// exchangeProc is joinState viewed as the FWD/BACK exchange's shared state
+// machine.
+type exchangeProc joinState
+
+// Step implements congest.NodeProc.
+func (p *exchangeProc) Step(ctx *congest.Ctx, v int) bool {
+	st := (*joinState)(p)
+	if ctx.Round() == 0 && st.chosenPort[v] >= 0 && st.sendFwd[v] {
+		ctx.Send(st.chosenPort[v], congest.Message{Kind: kindForward, A: st.color[v], B: st.flags[v]})
+	}
+	ctx.ForRecv(func(_ int, m congest.Incoming) {
+		switch m.Msg.Kind {
+		case kindForward:
+			st.havePred[v] = true
+			st.predColor[v] = m.Msg.A
+			ctx.Send(m.Port, congest.Message{Kind: kindBack, A: st.color[v], B: st.flags[v]})
+		case kindBack:
+			st.backColor[v] = m.Msg.A
+			st.backFlags[v] = m.Msg.B
+		}
+	})
+	return false
 }
 
 // spreadFromEndpoint distributes a value known at the chosen endpoint to the

@@ -84,20 +84,7 @@ func DecomposeHeavyPaths(net *congest.Network, t *BFSTree, maxRounds int64) (*He
 	}
 
 	// Phase 2: tell the heavy child its parent edge is heavy.
-	procs := net.Scratch().Procs(n)
-	for v := 0; v < n; v++ {
-		v := v
-		procs[v] = congest.ProcFunc(func(ctx *congest.Ctx) bool {
-			if ctx.Round() == 0 && h.HeavyChildPort[v] >= 0 {
-				ctx.Send(h.HeavyChildPort[v], congest.Message{Kind: kindHeavyMark})
-			}
-			ctx.ForRecv(func(int, congest.Incoming) {
-				h.ParentHeavy[v] = true
-			})
-			return false
-		})
-	}
-	if _, err := net.Run("tree/heavy-mark", procs, maxRounds); err != nil {
+	if _, err := net.RunNodes("tree/heavy-mark", &heavyMarkProc{h: h}, maxRounds); err != nil {
 		return nil, err
 	}
 
@@ -109,42 +96,14 @@ func DecomposeHeavyPaths(net *congest.Network, t *BFSTree, maxRounds int64) (*He
 	}
 
 	// Phase 4: number chains bottom-up: bottoms take index 1 and indices
-	// propagate up heavy edges. (procs shares runLevelConvergecast's arena
-	// buffer; that phase has completed.)
-	procs = net.Scratch().Procs(n)
-	idxImpls := make([]indexUpProc, n)
-	for v := 0; v < n; v++ {
-		idxImpls[v] = indexUpProc{t: t, h: h, v: v}
-		procs[v] = &idxImpls[v]
-	}
-	if _, err := net.Run("tree/heavy-index", procs, maxRounds); err != nil {
+	// propagate up heavy edges.
+	iup := &indexUpProc{t: t, h: h, fired: make([]bool, n)}
+	if _, err := net.RunNodes("tree/heavy-index", iup, maxRounds); err != nil {
 		return nil, err
 	}
 
 	// Phase 5: tops distribute (top ID, length, level) down their chains.
-	for v := 0; v < n; v++ {
-		v := v
-		procs[v] = congest.ProcFunc(func(ctx *congest.Ctx) bool {
-			if ctx.Round() == 0 && h.IsTop(v) {
-				h.TopID[v] = ctx.ID()
-				h.Length[v] = h.Index[v]
-				h.Level[v] = int(pl[v])
-				if p := h.HeavyChildPort[v]; p >= 0 {
-					ctx.Send(p, congest.Message{Kind: kindPathDown, A: h.TopID[v], B: h.Length[v], C: pl[v]})
-				}
-			}
-			ctx.ForRecv(func(_ int, in congest.Incoming) {
-				h.TopID[v] = in.Msg.A
-				h.Length[v] = in.Msg.B
-				h.Level[v] = int(in.Msg.C)
-				if p := h.HeavyChildPort[v]; p >= 0 {
-					ctx.Send(p, in.Msg)
-				}
-			})
-			return false
-		})
-	}
-	if _, err := net.Run("tree/heavy-info", procs, maxRounds); err != nil {
+	if _, err := net.RunNodes("tree/heavy-info", &pathInfoProc{h: h, pl: pl}, maxRounds); err != nil {
 		return nil, err
 	}
 
@@ -159,35 +118,60 @@ func DecomposeHeavyPaths(net *congest.Network, t *BFSTree, maxRounds int64) (*He
 	return h, nil
 }
 
+// heavyMarkProc tells each heavy child that its parent edge is heavy.
+type heavyMarkProc struct {
+	h *HeavyPaths
+}
+
+// Step implements congest.NodeProc.
+func (p *heavyMarkProc) Step(ctx *congest.Ctx, v int) bool {
+	if ctx.Round() == 0 && p.h.HeavyChildPort[v] >= 0 {
+		ctx.Send(p.h.HeavyChildPort[v], congest.Message{Kind: kindHeavyMark})
+	}
+	ctx.ForRecv(func(int, congest.Incoming) {
+		p.h.ParentHeavy[v] = true
+	})
+	return false
+}
+
+// levelProc computes PL bottom-up with the +1-on-light-edges rule
+// (waiting == -1 marks a node that already fired).
+type levelProc struct {
+	t       *BFSTree
+	h       *HeavyPaths
+	pl      []int64
+	waiting []int
+}
+
+// Step implements congest.NodeProc.
+func (p *levelProc) Step(ctx *congest.Ctx, v int) bool {
+	ctx.ForRecv(func(_ int, in congest.Incoming) {
+		child := in.Msg.A
+		if in.Port != p.h.HeavyChildPort[v] {
+			child++ // light in-edge: the hanging path sits one level below
+		}
+		if child > p.pl[v] {
+			p.pl[v] = child
+		}
+		p.waiting[v]--
+	})
+	if p.waiting[v] == 0 {
+		p.waiting[v] = -1
+		if p.t.ParentPort[v] >= 0 {
+			ctx.Send(p.t.ParentPort[v], congest.Message{Kind: kindLevelUp, A: p.pl[v]})
+		}
+	}
+	return false
+}
+
 // runLevelConvergecast computes PL bottom-up with the +1-on-light-edges rule.
 func runLevelConvergecast(net *congest.Network, t *BFSTree, h *HeavyPaths, pl []int64, maxRounds int64) error {
 	n := net.N()
-	procs := net.Scratch().Procs(n)
-	waiting := make([]int, n)
+	lp := &levelProc{t: t, h: h, pl: pl, waiting: make([]int, n)}
 	for v := 0; v < n; v++ {
-		v := v
-		waiting[v] = len(t.ChildPorts[v])
-		procs[v] = congest.ProcFunc(func(ctx *congest.Ctx) bool {
-			ctx.ForRecv(func(_ int, in congest.Incoming) {
-				child := in.Msg.A
-				if in.Port != h.HeavyChildPort[v] {
-					child++ // light in-edge: the hanging path sits one level below
-				}
-				if child > pl[v] {
-					pl[v] = child
-				}
-				waiting[v]--
-			})
-			if waiting[v] == 0 {
-				waiting[v] = -1
-				if t.ParentPort[v] >= 0 {
-					ctx.Send(t.ParentPort[v], congest.Message{Kind: kindLevelUp, A: pl[v]})
-				}
-			}
-			return false
-		})
+		lp.waiting[v] = len(t.ChildPorts[v])
 	}
-	_, err := net.Run("tree/heavy-level", procs, maxRounds)
+	_, err := net.RunNodes("tree/heavy-level", lp, maxRounds)
 	return err
 }
 
@@ -195,24 +179,53 @@ func runLevelConvergecast(net *congest.Network, t *BFSTree, h *HeavyPaths, pl []
 type indexUpProc struct {
 	t     *BFSTree
 	h     *HeavyPaths
-	v     int
-	fired bool
+	fired []bool
 }
 
-func (p *indexUpProc) Step(ctx *congest.Ctx) bool {
+// Step implements congest.NodeProc.
+func (p *indexUpProc) Step(ctx *congest.Ctx, v int) bool {
 	fire := func(idx int64) {
-		p.h.Index[p.v] = idx
-		p.fired = true
-		if p.h.ParentHeavy[p.v] {
-			ctx.Send(p.t.ParentPort[p.v], congest.Message{Kind: kindIndexUp, A: idx})
+		p.h.Index[v] = idx
+		p.fired[v] = true
+		if p.h.ParentHeavy[v] {
+			ctx.Send(p.t.ParentPort[v], congest.Message{Kind: kindIndexUp, A: idx})
 		}
 	}
-	if ctx.Round() == 0 && p.h.IsBottom(p.v) {
+	if ctx.Round() == 0 && p.h.IsBottom(v) {
 		fire(1)
 	}
 	ctx.ForRecv(func(_ int, in congest.Incoming) {
-		if !p.fired {
+		if !p.fired[v] {
 			fire(in.Msg.A + 1)
+		}
+	})
+	return false
+}
+
+// pathInfoProc distributes (top ID, length, level) from each path top down
+// its chain.
+type pathInfoProc struct {
+	h  *HeavyPaths
+	pl []int64
+}
+
+// Step implements congest.NodeProc.
+func (p *pathInfoProc) Step(ctx *congest.Ctx, v int) bool {
+	h := p.h
+	if ctx.Round() == 0 && h.IsTop(v) {
+		h.TopID[v] = ctx.ID()
+		h.Length[v] = h.Index[v]
+		h.Level[v] = int(p.pl[v])
+		if q := h.HeavyChildPort[v]; q >= 0 {
+			ctx.Send(q, congest.Message{Kind: kindPathDown, A: h.TopID[v], B: h.Length[v], C: p.pl[v]})
+		}
+	}
+	ctx.ForRecv(func(_ int, in congest.Incoming) {
+		h.TopID[v] = in.Msg.A
+		h.Length[v] = in.Msg.B
+		h.Level[v] = int(in.Msg.C)
+		if q := h.HeavyChildPort[v]; q >= 0 {
+			ctx.Send(q, in.Msg)
 		}
 	})
 	return false

@@ -44,25 +44,10 @@ func ElectLeader(net *congest.Network, maxRounds int64) (int, error) {
 	n := net.N()
 	// Leaf-scoped arena use: minID is consumed before this function returns.
 	minID := net.Scratch().Int64s(n)
-	procs := net.Scratch().Procs(n)
 	for v := 0; v < n; v++ {
-		v := v
 		minID[v] = net.ID(v)
-		procs[v] = congest.ProcFunc(func(ctx *congest.Ctx) bool {
-			improved := ctx.Round() == 0
-			ctx.ForRecv(func(_ int, in congest.Incoming) {
-				if in.Msg.A < minID[v] {
-					minID[v] = in.Msg.A
-					improved = true
-				}
-			})
-			if improved {
-				ctx.Broadcast(congest.Message{Kind: kindElect, A: minID[v]})
-			}
-			return false
-		})
 	}
-	if _, err := net.Run("tree/elect", procs, maxRounds); err != nil {
+	if _, err := net.RunNodes("tree/elect", &electProc{minID: minID}, maxRounds); err != nil {
 		return -1, err
 	}
 	leader := net.NodeByID(minID[0])
@@ -77,41 +62,63 @@ func ElectLeader(net *congest.Network, maxRounds int64) (int, error) {
 	return leader, nil
 }
 
-// bfsProc is one node's state in the BFS-tree construction: adopt the first
-// JOIN heard (lowest port on ties), announce CHILD to the parent, forward
-// JOIN everywhere else.
-type bfsProc struct {
-	t      *BFSTree
-	v      int
-	root   bool
-	joined bool
+// electProc is the shared min-ID flood: per-node state is the flat minID
+// array.
+type electProc struct {
+	minID []int64
 }
 
-func (b *bfsProc) Step(ctx *congest.Ctx) bool {
-	if ctx.Round() == 0 && b.root {
-		b.joined = true
-		b.t.Depth[b.v] = 0
+// Step implements congest.NodeProc.
+func (p *electProc) Step(ctx *congest.Ctx, v int) bool {
+	improved := ctx.Round() == 0
+	ctx.ForRecv(func(_ int, in congest.Incoming) {
+		if in.Msg.A < p.minID[v] {
+			p.minID[v] = in.Msg.A
+			improved = true
+		}
+	})
+	if improved {
+		ctx.Broadcast(congest.Message{Kind: kindElect, A: p.minID[v]})
+	}
+	return false
+}
+
+// bfsProc is the shared BFS-tree construction state machine: adopt the
+// first JOIN heard (lowest port on ties), announce CHILD to the parent,
+// forward JOIN everywhere else. Per-node state: the tree under
+// construction plus the flat joined array.
+type bfsProc struct {
+	t      *BFSTree
+	root   int
+	joined []bool
+}
+
+// Step implements congest.NodeProc.
+func (b *bfsProc) Step(ctx *congest.Ctx, v int) bool {
+	if ctx.Round() == 0 && v == b.root {
+		b.joined[v] = true
+		b.t.Depth[v] = 0
 		ctx.Broadcast(congest.Message{Kind: kindJoin, A: 0})
 		return false
 	}
 	ctx.ForRecv(func(_ int, in congest.Incoming) {
 		switch in.Msg.Kind {
 		case kindJoin:
-			if b.joined {
+			if b.joined[v] {
 				return
 			}
-			b.joined = true
-			b.t.ParentPort[b.v] = in.Port
-			b.t.Depth[b.v] = int(in.Msg.A) + 1
+			b.joined[v] = true
+			b.t.ParentPort[v] = in.Port
+			b.t.Depth[v] = int(in.Msg.A) + 1
 			for p := 0; p < ctx.Degree(); p++ {
 				if p == in.Port {
 					ctx.Send(p, congest.Message{Kind: kindChild})
 				} else {
-					ctx.Send(p, congest.Message{Kind: kindJoin, A: int64(b.t.Depth[b.v])})
+					ctx.Send(p, congest.Message{Kind: kindJoin, A: int64(b.t.Depth[v])})
 				}
 			}
 		case kindChild:
-			b.t.ChildPorts[b.v] = append(b.t.ChildPorts[b.v], in.Port)
+			b.t.ChildPorts[v] = append(b.t.ChildPorts[v], in.Port)
 		}
 	})
 	return false
@@ -128,15 +135,12 @@ func BuildBFS(net *congest.Network, root int, maxRounds int64) (*BFSTree, error)
 		Depth:      make([]int, n),
 		ChildPorts: make([][]int, n),
 	}
-	procs := net.Scratch().Procs(n)
-	impls := make([]bfsProc, n)
 	for v := 0; v < n; v++ {
 		t.ParentPort[v] = -1
 		t.ParentNode[v] = -1
-		impls[v] = bfsProc{t: t, v: v, root: v == root}
-		procs[v] = &impls[v]
 	}
-	if _, err := net.Run("tree/bfs", procs, maxRounds); err != nil {
+	bp := &bfsProc{t: t, root: root, joined: make([]bool, n)}
+	if _, err := net.RunNodes("tree/bfs", bp, maxRounds); err != nil {
 		return nil, err
 	}
 	g := net.Graph()
@@ -157,33 +161,35 @@ func BuildBFS(net *congest.Network, root int, maxRounds int64) (*BFSTree, error)
 // convergeProc aggregates values up the tree: a node sends to its parent
 // once all children have reported, combining with f. onChild, if non-nil,
 // observes each (child port, child subtree value) pair at the parent.
+// Shared across nodes; per-node state is the flat acc/waiting arrays
+// (waiting == -1 marks a node that already fired).
 type convergeProc struct {
 	t       *BFSTree
-	v       int
 	f       congest.Combine
-	acc     congest.Val
-	waiting int
+	acc     []congest.Val
+	waiting []int
 	onChild func(v, port int, val congest.Val)
 	subtree []congest.Val
 }
 
-func (c *convergeProc) Step(ctx *congest.Ctx) bool {
+// Step implements congest.NodeProc.
+func (c *convergeProc) Step(ctx *congest.Ctx, v int) bool {
 	ctx.ForRecv(func(_ int, in congest.Incoming) {
 		if in.Msg.Kind != kindUp {
 			return
 		}
 		val := congest.Val{A: in.Msg.A, B: in.Msg.B}
 		if c.onChild != nil {
-			c.onChild(c.v, in.Port, val)
+			c.onChild(v, in.Port, val)
 		}
-		c.acc = c.f(c.acc, val)
-		c.waiting--
+		c.acc[v] = c.f(c.acc[v], val)
+		c.waiting[v]--
 	})
-	if c.waiting == 0 {
-		c.waiting = -1 // fire once
-		c.subtree[c.v] = c.acc
-		if c.t.ParentPort[c.v] >= 0 {
-			ctx.Send(c.t.ParentPort[c.v], congest.Message{Kind: kindUp, A: c.acc.A, B: c.acc.B})
+	if c.waiting[v] == 0 {
+		c.waiting[v] = -1 // fire once
+		c.subtree[v] = c.acc[v]
+		if c.t.ParentPort[v] >= 0 {
+			ctx.Send(c.t.ParentPort[v], congest.Message{Kind: kindUp, A: c.acc[v].A, B: c.acc[v].B})
 		}
 	}
 	return false
@@ -198,17 +204,17 @@ func Convergecast(net *congest.Network, t *BFSTree, vals []congest.Val, f conges
 	onChild func(v, port int, val congest.Val), maxRounds int64) ([]congest.Val, error) {
 	n := net.N()
 	subtree := make([]congest.Val, n)
-	procs := net.Scratch().Procs(n)
-	impls := make([]convergeProc, n)
-	for v := 0; v < n; v++ {
-		impls[v] = convergeProc{
-			t: t, v: v, f: f, acc: vals[v],
-			waiting: len(t.ChildPorts[v]),
-			onChild: onChild, subtree: subtree,
-		}
-		procs[v] = &impls[v]
+	cp := &convergeProc{
+		t: t, f: f,
+		acc:     make([]congest.Val, n),
+		waiting: make([]int, n),
+		onChild: onChild, subtree: subtree,
 	}
-	if _, err := net.Run("tree/convergecast", procs, maxRounds); err != nil {
+	copy(cp.acc, vals)
+	for v := 0; v < n; v++ {
+		cp.waiting[v] = len(t.ChildPorts[v])
+	}
+	if _, err := net.RunNodes("tree/convergecast", cp, maxRounds); err != nil {
 		return nil, err
 	}
 	return subtree, nil
@@ -219,29 +225,35 @@ func Convergecast(net *congest.Network, t *BFSTree, vals []congest.Val, f conges
 func Broadcast(net *congest.Network, t *BFSTree, val congest.Val, maxRounds int64) ([]congest.Val, error) {
 	n := net.N()
 	got := make([]congest.Val, n)
-	procs := net.Scratch().Procs(n)
-	for v := 0; v < n; v++ {
-		v := v
-		procs[v] = congest.ProcFunc(func(ctx *congest.Ctx) bool {
-			if ctx.Round() == 0 && v == t.Root {
-				got[v] = val
-				for _, p := range t.ChildPorts[v] {
-					ctx.Send(p, congest.Message{Kind: kindDown, A: val.A, B: val.B})
-				}
-			}
-			ctx.ForRecv(func(_ int, in congest.Incoming) {
-				got[v] = congest.Val{A: in.Msg.A, B: in.Msg.B}
-				for _, p := range t.ChildPorts[v] {
-					ctx.Send(p, in.Msg)
-				}
-			})
-			return false
-		})
-	}
-	if _, err := net.Run("tree/broadcast", procs, maxRounds); err != nil {
+	bp := &broadcastProc{t: t, val: val, got: got}
+	if _, err := net.RunNodes("tree/broadcast", bp, maxRounds); err != nil {
 		return nil, err
 	}
 	return got, nil
+}
+
+// broadcastProc floods val from the root down the tree.
+type broadcastProc struct {
+	t   *BFSTree
+	val congest.Val
+	got []congest.Val
+}
+
+// Step implements congest.NodeProc.
+func (b *broadcastProc) Step(ctx *congest.Ctx, v int) bool {
+	if ctx.Round() == 0 && v == b.t.Root {
+		b.got[v] = b.val
+		for _, p := range b.t.ChildPorts[v] {
+			ctx.Send(p, congest.Message{Kind: kindDown, A: b.val.A, B: b.val.B})
+		}
+	}
+	ctx.ForRecv(func(_ int, in congest.Incoming) {
+		b.got[v] = congest.Val{A: in.Msg.A, B: in.Msg.B}
+		for _, p := range b.t.ChildPorts[v] {
+			ctx.Send(p, in.Msg)
+		}
+	})
+	return false
 }
 
 // SubtreeSizes returns, per node, the size of its subtree in t, and invokes

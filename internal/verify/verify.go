@@ -172,34 +172,8 @@ func Bipartite(e *core.Engine, h *Subgraph, lab *Labeling) (bool, error) {
 	for v := range parity {
 		parity[v] = -1
 	}
-	procs := e.Net.Scratch().Procs(n)
-	for v := 0; v < n; v++ {
-		v := v
-		inH := h.PortRow(v)
-		procs[v] = congest.ProcFunc(func(ctx *congest.Ctx) bool {
-			adopt := func(p int64) {
-				parity[v] = p
-				for q, ok := range inH {
-					if ok && ctx.CanSend(q) {
-						ctx.Send(q, congest.Message{Kind: kindParity, A: 1 - p})
-					}
-				}
-			}
-			if ctx.Round() == 0 && lab.Info.IsLeader[v] {
-				adopt(0)
-			}
-			ctx.ForRecv(func(_ int, m congest.Incoming) {
-				want := m.Msg.A
-				if parity[v] < 0 {
-					adopt(want)
-				} else if parity[v] != want {
-					conflict[v] = true
-				}
-			})
-			return false
-		})
-	}
-	if _, err := e.Net.Run("verify/parity", procs, int64(16*n+4096)); err != nil {
+	pp := &parityProc{h: h, lab: lab, parity: parity, conflict: conflict}
+	if _, err := e.Net.RunNodes("verify/parity", pp, int64(16*n+4096)); err != nil {
 		return false, err
 	}
 	vals := make([]congest.Val, n)
@@ -213,4 +187,39 @@ func Bipartite(e *core.Engine, h *Subgraph, lab *Labeling) (bool, error) {
 		return false, err
 	}
 	return got.A == 0, nil
+}
+
+// parityProc floods parity levels from component leaders along H; an H-edge
+// joining equal parities flags a conflict. Per-node state is the flat
+// parity/conflict arrays.
+type parityProc struct {
+	h        *Subgraph
+	lab      *Labeling
+	parity   []int64
+	conflict []bool
+}
+
+// Step implements congest.NodeProc.
+func (p *parityProc) Step(ctx *congest.Ctx, v int) bool {
+	inH := p.h.PortRow(v)
+	adopt := func(par int64) {
+		p.parity[v] = par
+		for q, ok := range inH {
+			if ok && ctx.CanSend(q) {
+				ctx.Send(q, congest.Message{Kind: kindParity, A: 1 - par})
+			}
+		}
+	}
+	if ctx.Round() == 0 && p.lab.Info.IsLeader[v] {
+		adopt(0)
+	}
+	ctx.ForRecv(func(_ int, m congest.Incoming) {
+		want := m.Msg.A
+		if p.parity[v] < 0 {
+			adopt(want)
+		} else if p.parity[v] != want {
+			p.conflict[v] = true
+		}
+	})
+	return false
 }
