@@ -8,7 +8,7 @@ GO ?= go
 # PR number stamped into benchmark snapshots (BENCH_$(PR).json), and the
 # provenance note recorded inside; override both per perf PR, e.g.
 #   make bench PR=5 BENCH_NOTE="batched wake scan; vs BENCH_2: ..."
-PR ?= 4
+PR ?= 5
 BENCH_NOTE ?= engine benchmark snapshot (PR $(PR)); compare against the previous BENCH_<n>.json via benchstat
 
 build:
@@ -37,11 +37,12 @@ test-race-w4:
 test-full:
 	$(GO) test ./...
 
-# Engine benchmarks (graph-family x worker-count matrix on n=10k graphs),
+# Engine benchmarks (graph-family x worker-count matrix on n=10k graphs,
+# plus the BenchmarkNetworkSetup cold-construction ladder n=10^4..10^6),
 # snapshotted to a benchstat-friendly BENCH_$(PR).json for the perf
 # trajectory. Replay into benchstat with: jq -r '.raw[]' BENCH_$(PR).json
 bench:
-	$(GO) test -run='^$$' -bench=BenchmarkEngine -benchmem -benchtime=5x -count=3 ./internal/congest/ \
+	$(GO) test -run='^$$' -bench='BenchmarkEngine|BenchmarkNetworkSetup' -benchmem -benchtime=5x -count=3 ./internal/congest/ \
 		| tee /dev/stderr \
 		| $(GO) run ./cmd/benchsnap -o BENCH_$(PR).json -note "$(BENCH_NOTE)"
 
@@ -53,8 +54,8 @@ bench-smoke:
 # benchstat comparison of two committed benchmark snapshots (nightly CI
 # appends the output to its job summary for the perf trajectory). Falls
 # back to naming the raw snapshots when jq/benchstat are unavailable.
-BENCH_OLD ?= BENCH_3.json
-BENCH_NEW ?= BENCH_4.json
+BENCH_OLD ?= BENCH_4.json
+BENCH_NEW ?= BENCH_5.json
 bench-compare:
 	@if ! command -v jq >/dev/null 2>&1; then \
 		echo "bench-compare: jq unavailable; raw snapshots: $(BENCH_OLD) $(BENCH_NEW)"; exit 0; fi; \
@@ -73,6 +74,14 @@ bench-compare:
 		echo "  $$f:"; \
 		jq -r '.raw[]' $$f | grep -E 'BenchmarkEngineSetup/family=torus' \
 			| awk '{printf "    %-55s %s allocs/op\n", $$1, $$(NF-1)}' | sort -u; \
+	done; \
+	echo ""; \
+	echo "network-setup ms/op (BenchmarkNetworkSetup ladder; the cold-construction trajectory):"; \
+	for f in $(BENCH_OLD) $(BENCH_NEW); do \
+		echo "  $$f:"; \
+		jq -r '.raw[]' $$f | grep -E 'BenchmarkNetworkSetup/' \
+			| awk '{printf "    %-40s %.1f ms/op  (%s allocs/op)\n", $$1, $$3/1e6, $$(NF-1)}' | sort -u; \
+		jq -r '.raw[]' $$f | grep -qE 'BenchmarkNetworkSetup/' || echo "    (no BenchmarkNetworkSetup rows in this snapshot)"; \
 	done
 
 # Every package must carry its package comment in a doc.go file, so

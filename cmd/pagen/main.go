@@ -56,9 +56,10 @@ func run(args []string) error {
 	}
 	fmt.Printf("family=%s scale=%d n=%d m=%d diameter=%d\n", *family, *scale, g.N(), g.M(), g.Diameter())
 	if *edges {
-		for _, e := range g.Edges() {
+		g.ForEdges(func(_ int, e graph.Edge) bool {
 			fmt.Printf("%d %d %d\n", e.U, e.V, e.W)
-		}
+			return true
+		})
 	}
 	return nil
 }

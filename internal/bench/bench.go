@@ -21,10 +21,10 @@ var workers int
 func SetWorkers(k int) { workers = k }
 
 // newNetwork builds an experiment network with the configured parallelism.
+// The worker count is passed to construction itself, so NewNetwork's slot
+// geometry fill shards across the pool at large n (not just the rounds).
 func newNetwork(g *graph.Graph, seed int64) *congest.Network {
-	net := congest.NewNetwork(g, seed)
-	net.SetWorkers(workers)
-	return net
+	return congest.NewNetworkWorkers(g, seed, workers)
 }
 
 // Table is one experiment's output: a title, column headers, and rows.
@@ -143,12 +143,16 @@ func hardPartition(g *graph.Graph, rng *rand.Rand) []int {
 // deeper than D — the same trick the paper's Figure 2 instance uses (an
 // apex over the grid's top row). The apex gets its own part.
 func apexed(g *graph.Graph, stride int) *graph.Graph {
-	edges := g.Edges()
 	apex := g.N()
-	for v := 0; v < g.N(); v += stride {
-		edges = append(edges, graph.Edge{U: apex, V: v, W: 1})
+	b := graph.NewBuilder(apex+1, g.M()+(apex+stride-1)/stride)
+	g.ForEdges(func(_ int, e graph.Edge) bool {
+		b.AddEdge(e.U, e.V, e.W)
+		return true
+	})
+	for v := 0; v < apex; v += stride {
+		b.AddEdge(apex, v, 1)
 	}
-	return graph.MustNew(g.N()+1, edges)
+	return b.MustFinish()
 }
 
 // deepApexInstance: apex a family instance and stripe the base graph into

@@ -288,7 +288,7 @@ func MinCutExperiment(seed int64) (*Table, error) {
 }
 
 func barbell(k int, bridgeW graph.Weight) *graph.Graph {
-	var edges []graph.Edge
+	edges := make([]graph.Edge, 0, k*(k-1)+1)
 	for u := 0; u < k; u++ {
 		for v := u + 1; v < k; v++ {
 			edges = append(edges, graph.Edge{U: u, V: v, W: 10})

@@ -31,9 +31,9 @@ func ScaleSweep(seed int64, maxN int) (*Table, error) {
 	t := &Table{
 		ID:      "SWEEP",
 		Title:   fmt.Sprintf("engine scale sweep: torus broadcast storm, %d rounds, workers=%d", stormRounds, max(workers, 1)),
-		Headers: []string{"torus", "n", "2m", "setup ms", "storm ms", "ns/round", "ns/msg", "msgs", "heap MB"},
+		Headers: []string{"torus", "n", "2m", "build ms", "net ms", "warm ms", "storm ms", "ns/round", "ns/msg", "msgs", "heap MB"},
 		Notes: []string{
-			"setup: graph build + NewNetwork + engine-buffer warmup; storm: the timed phase only",
+			"setup is split by stage: build = graph construction, net = NewNetwork (IDs + slot geometry), warm = first-run engine-buffer allocation; storm: the timed phase only",
 			"heap: HeapAlloc after a forced GC with the network still live (graph + engine footprint)",
 		},
 	}
@@ -55,10 +55,19 @@ func ScaleSweep(seed int64, maxN int) (*Table, error) {
 }
 
 // sweepInstance builds one torus network and times the storm phase on it.
+// The three construction stages are timed separately so a setup regression
+// is attributable: graph build (generator + CSR), NewNetwork (IDs + slot
+// geometry), and the first-run engine-buffer warmup.
 func sweepInstance(seed int64, side int) ([]string, error) {
-	setupStart := time.Now()
+	buildStart := time.Now()
 	g := graph.Torus(side, side)
+	build := time.Since(buildStart)
+
+	netStart := time.Now()
 	net := newNetwork(g, seed)
+	netElapsed := time.Since(netStart)
+
+	warmStart := time.Now()
 	n := g.N()
 	minID := make([]int64, n)
 	for v := 0; v < n; v++ {
@@ -84,7 +93,7 @@ func sweepInstance(seed int64, side int) ([]string, error) {
 		return nil, err
 	}
 	net.ResetMetrics()
-	setup := time.Since(setupStart)
+	warm := time.Since(warmStart)
 
 	stormStart := time.Now()
 	cost, err := net.RunNodes("sweep/storm", storm, int64(stormRounds)+4)
@@ -102,7 +111,8 @@ func sweepInstance(seed int64, side int) ([]string, error) {
 	return []string{
 		fmt.Sprintf("%dx%d", side, side),
 		itoaInt(n), itoaInt(2 * g.M()),
-		itoa(setup.Milliseconds()), itoa(elapsed.Milliseconds()),
+		itoa(build.Milliseconds()), itoa(netElapsed.Milliseconds()), itoa(warm.Milliseconds()),
+		itoa(elapsed.Milliseconds()),
 		fmt.Sprintf("%.0f", nsPerRound), fmt.Sprintf("%.1f", nsPerMsg),
 		itoa(cost.Messages),
 		fmt.Sprintf("%.0f", float64(ms.HeapAlloc)/(1<<20)),

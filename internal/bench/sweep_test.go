@@ -26,8 +26,17 @@ func TestScaleSweepSmallest(t *testing.T) {
 	// The storm is exactly stormRounds broadcasts over 2m half-edges:
 	// a 100x100 torus has m = 2n = 20000 edges, so 10 * 40000 messages.
 	wantMsgs := "400000"
-	if row[7] != wantMsgs {
-		t.Fatalf("storm messages %s, want %s", row[7], wantMsgs)
+	msgsCol := -1
+	for i, h := range tab.Headers {
+		if h == "msgs" {
+			msgsCol = i
+		}
+	}
+	if msgsCol < 0 {
+		t.Fatalf("headers %v lack a msgs column", tab.Headers)
+	}
+	if row[msgsCol] != wantMsgs {
+		t.Fatalf("storm messages %s, want %s", row[msgsCol], wantMsgs)
 	}
 	if !strings.Contains(tab.Format(), "SWEEP") {
 		t.Fatal("formatted table lacks the SWEEP id")

@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"math/rand"
 	"os"
+	"runtime"
+	"sort"
 	"strconv"
 	"sync"
 
@@ -113,13 +115,13 @@ func (t procTable) Step(ctx *Ctx, v int) bool { return t[v].Step(ctx) }
 type Network struct {
 	g        *graph.Graph
 	csr      graph.CSR
-	nbrOrder []int32 // CSR-offset flat array: ports of v sorted by neighbor index
 	destSlot []int32 // per sender half-edge: the rank-indexed receiver slot it delivers into
 	portSlot []int32 // per receiver half-edge RowStart[v]+p: the slot holding the message arriving on port p
 	scratch  *Scratch
 	seed     int64
 	ids      []int64
-	byID     map[int64]int
+	idSorted []int64 // node IDs in ascending order: the mapless NodeByID index
+	idNode   []int32 // idNode[k] is the node whose ID is idSorted[k]
 	rngs     []*rand.Rand
 	total    Metrics
 	phases   []Phase
@@ -129,61 +131,107 @@ type Network struct {
 }
 
 // NewNetwork wraps g for simulation. The seed determines node IDs and all
-// node randomness, making every execution reproducible.
+// node randomness, making every execution reproducible. Construction is
+// O(n + m) with no hash maps; the network's default worker count
+// (CONGEST_WORKERS) also shards the slot-geometry fill — see
+// NewNetworkWorkers for an explicit setting.
 func NewNetwork(g *graph.Graph, seed int64) *Network {
+	return NewNetworkWorkers(g, seed, envWorkers())
+}
+
+// NewNetworkWorkers is NewNetwork with an explicit engine parallelism,
+// applied both to construction (the O(m) slot-geometry fill shards across
+// a worker pool when workers > 1) and, like SetWorkers, to every
+// subsequent phase. The built network is bit-identical at any setting.
+func NewNetworkWorkers(g *graph.Graph, seed int64, workers int) *Network {
 	n := g.N()
 	net := &Network{
-		g:       g,
-		csr:     g.CSR(),
-		seed:    seed,
-		ids:     make([]int64, n),
-		byID:    make(map[int64]int, n),
-		rngs:    make([]*rand.Rand, n),
-		workers: envWorkers(),
+		g:        g,
+		csr:      g.CSR(),
+		seed:     seed,
+		ids:      make([]int64, n),
+		idSorted: make([]int64, n),
+		idNode:   make([]int32, n),
+		rngs:     make([]*rand.Rand, n),
+		workers:  workers,
 	}
 	// Arbitrary unique IDs: an injective affine map of a seeded permutation,
 	// so IDs are unique, O(log n)-bit scale, and in random order (the KT0
 	// "arbitrary ID" assumption; see DESIGN.md on leader-election messages).
+	// The map is strictly increasing in perm[v], so the sorted ID index
+	// behind NodeByID needs no sort — and no map: scattering by perm rank
+	// builds the ascending (id, node) arrays in the same O(n) pass.
 	// Per-node PRNGs are created lazily (see rng): a math/rand source is
 	// ~5 KB, so eager creation would dominate the network's footprint at
 	// n = 10^6 while most protocols never draw randomness at most nodes.
 	perm := rand.New(rand.NewSource(seed)).Perm(n)
 	for v := 0; v < n; v++ {
-		id := int64(perm[v])*2654435761 + 12345
+		k := perm[v]
+		id := int64(k)*2654435761 + 12345
 		net.ids[v] = id
-		net.byID[id] = v
+		net.idSorted[k] = id
+		net.idNode[k] = int32(v)
 	}
-	// Edge-slot geometry. Delivery slots are rank-indexed: slot RowStart[v]+k
-	// holds the message from v's k-th neighbor in ascending node order, so a
-	// linear scan of a node's slot range IS the sequential engine's
-	// sender-index delivery order — no reordering at Recv time.
-	//
-	// nbrOrder (rank -> port) falls out of one O(m) pass: iterating senders
-	// u in ascending order and appending each reverse port to u's neighbors
-	// yields every receiver's ports already sorted by neighbor index
-	// (neighbors are distinct, so ties cannot occur). destSlot then gives
-	// each sender half-edge its receiver-side slot directly: Send is one
-	// table lookup, and slots are disjoint across all (sender, port) pairs
-	// by construction.
-	// portSlot is nbrOrder's inverse within each row: for receiver v,
-	// portSlot[RowStart[v]+p] is the slot holding the message that arrives
-	// on port p — the O(1) lookup behind RecvOn.
-	rs := net.csr.RowStart
-	net.nbrOrder = make([]int32, len(net.csr.PortTo))
-	net.destSlot = make([]int32, len(net.csr.PortTo))
-	net.portSlot = make([]int32, len(net.csr.PortTo))
-	fill := make([]int32, n)
-	for u := 0; u < n; u++ {
+	// The global round clock starts at clockBase, not 0, so the engine
+	// buffers' zero values can serve as their "never written" sentinels:
+	// every occupancy test compares a stamp against round or round-1, both
+	// >= 1 from the first round on, so an untouched (all-zero) slot or wake
+	// stamp can never read as occupied and the buffers need no
+	// initialization pass at all — at n = 10^6 that pass was the single
+	// largest setup cost (hundreds of MB of first-touch writes).
+	net.clock = clockBase
+	net.fillGeometry()
+	return net
+}
+
+// clockBase is the first global round number. Must be >= 2: stamps compare
+// against round and round-1, and both must stay above the zero value that
+// freshly allocated (never-written) buffer entries carry.
+const clockBase = 2
+
+// fillGeometry builds the edge-slot geometry. Delivery slots are
+// rank-indexed: slot RowStart[v]+k holds the message from v's k-th neighbor
+// in ascending node order, so a linear scan of a node's slot range IS the
+// sequential engine's sender-index delivery order — no reordering at Recv
+// time.
+//
+// The fill is one O(m) pass: iterating senders u in ascending order and
+// bumping each receiver's fill counter assigns every half-edge its
+// receiver-side rank slot. destSlot gives each sender half-edge that slot
+// directly — Send is one table lookup, and slots are disjoint across all
+// (sender, port) pairs by construction. portSlot maps the receiver's ports
+// to the same slots: for receiver v, portSlot[RowStart[v]+p] is the slot
+// holding the message that arrives on port p — the O(1) lookup behind
+// RecvOn. (The slot's arrival port itself travels with the message: Send
+// stores it from PortRev, so no rank -> port table is materialized.)
+//
+// With workers > 1 the fill shards across a temporary worker pool (see
+// fillGeometryParallel); the sequential pass below is the reference the
+// parallel one must match slot for slot.
+func (n *Network) fillGeometry() {
+	nodes := n.N()
+	rs := n.csr.RowStart
+	n.destSlot = make([]int32, len(n.csr.PortTo))
+	n.portSlot = make([]int32, len(n.csr.PortTo))
+	if n.workers > 1 && nodes >= minParallelFillNodes {
+		// The fill's transient counters are O(workers * n), and shards
+		// beyond the CPU count add only that scratch (the result is
+		// bit-identical at any count), so clamp to real parallelism — with
+		// a floor of 8 so the sharded path stays exercisable on small
+		// hosts and in tests regardless of the machine.
+		n.fillGeometryParallel(min(n.workers, nodes, max(runtime.GOMAXPROCS(0), 8)))
+		return
+	}
+	fill := make([]int32, nodes)
+	for u := 0; u < nodes; u++ {
 		for h := rs[u]; h < rs[u+1]; h++ {
-			v := net.csr.PortTo[h]
+			v := n.csr.PortTo[h]
 			slot := rs[v] + fill[v]
-			net.nbrOrder[slot] = net.csr.PortRev[h]
-			net.destSlot[h] = slot
-			net.portSlot[rs[v]+net.csr.PortRev[h]] = slot
+			n.destSlot[h] = slot
+			n.portSlot[rs[v]+n.csr.PortRev[h]] = slot
 			fill[v]++
 		}
 	}
-	return net
 }
 
 // Graph returns the underlying graph.
@@ -195,10 +243,14 @@ func (n *Network) N() int { return n.g.N() }
 // ID returns node v's unique O(log n)-bit identifier.
 func (n *Network) ID(v int) int64 { return n.ids[v] }
 
-// NodeByID returns the node index with the given ID, or -1.
+// NodeByID returns the node index with the given ID, or -1. The lookup is
+// a binary search of the sorted (id, node) index built in NewNetwork — at
+// n = 10^6 the old map's inserts dominated construction, while the sorted
+// pair of flat arrays costs 12 bytes/node and one O(n) scatter pass.
 func (n *Network) NodeByID(id int64) int {
-	if v, ok := n.byID[id]; ok {
-		return v
+	k := sort.Search(len(n.idSorted), func(i int) bool { return n.idSorted[i] >= id })
+	if k < len(n.idSorted) && n.idSorted[k] == id {
+		return int(n.idNode[k])
 	}
 	return -1
 }
@@ -331,14 +383,20 @@ func (n *Network) record(name string, cost Metrics) {
 // flipping 2m-slot delivery buffers plus the per-node scheduling and Recv
 // state. Allocated once (first Run) and reused by every subsequent phase —
 // the global round clock guarantees stale stamps can never match, so phases
-// need no clearing. See README.md "Memory layout".
+// need no clearing. Construction is allocation only, no initialization
+// pass: the clock starts at clockBase, so the zero value every fresh array
+// carries already means "never written" to each occupancy test. At
+// n = 10^6 the old init loops (static Port prefill + stamp sentinels) were
+// hundreds of MB of first-touch writes — the dominant setup cost; now a
+// page is faulted in by the first round that actually uses it. See
+// README.md "Memory layout".
 type engineBuffers struct {
 	// Rank-indexed delivery slots (see NewNetwork): slot s in node v's CSR
 	// range holds the message from v's (s-RowStart[v])-th smallest-index
 	// neighbor. cur* is what Recv reads this round; next* is what Send
-	// writes. Slots are full Incoming values whose Port fields are static
-	// (prefilled from nbrOrder, never rewritten): Send only stores .Msg,
-	// and a fully occupied range can be handed to the protocol as-is.
+	// writes. Slots are full Incoming values: Send stores the message and
+	// its arrival port (PortRev of the sender's half-edge) in one struct
+	// store, so a fully occupied range can be handed to the protocol as-is.
 	// A slot is occupied iff its stamp equals the round it was sent in:
 	// curStamp[s] == round-1 (sent last round), nextStamp[s] == round.
 	curInc    []Incoming
@@ -361,7 +419,10 @@ type engineBuffers struct {
 
 func newEngineBuffers(n *Network) *engineBuffers {
 	nodes, slots := n.N(), len(n.csr.PortTo)
-	b := &engineBuffers{
+	// No initialization: zero stamps and zero recvRound entries can never
+	// equal a real round (the clock starts at clockBase >= 2), and slot
+	// contents are only read behind a matching stamp.
+	return &engineBuffers{
 		curInc:    make([]Incoming, slots),
 		nextInc:   make([]Incoming, slots),
 		curStamp:  make([]int64, slots),
@@ -373,23 +434,6 @@ func newEngineBuffers(n *Network) *engineBuffers {
 		recvRound: make([]int64, nodes),
 		active:    make([]bool, nodes),
 	}
-	for s := range b.curInc {
-		port := int(n.nbrOrder[s])
-		b.curInc[s].Port = port
-		b.nextInc[s].Port = port
-	}
-	// Stamps compare against round-1 and round, both >= -1 at the global
-	// round 0; -2 means "never written".
-	for s := range b.curStamp {
-		b.curStamp[s] = -2
-		b.nextStamp[s] = -2
-	}
-	for v := range b.wakeCur {
-		b.wakeCur[v] = -2
-		b.wakeNext[v] = -2
-		b.recvRound[v] = -2
-	}
-	return b
 }
 
 // debugPoisonRecv, when set by a test, overwrites the whole Recv view buffer
@@ -415,6 +459,8 @@ type runState struct {
 	activeCount int64 // nodes whose last Step returned active (summed per shard)
 	workers     int   // goroutines stepping nodes; <= 1 means sequential
 	pool        *pool // persistent worker pool; nil until first parallel step
+	stepJob     job   // hoisted step-wave closure (no per-round allocation)
+	scanJob     job   // hoisted wake-scan-wave closure
 	*engineBuffers
 }
 

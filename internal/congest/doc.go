@@ -36,6 +36,14 @@
 // tables) recycle through the network's Scratch arena (scratch.go), so
 // repeated phases allocate O(1).
 //
+// Construction (NewNetwork / NewNetworkWorkers) is O(n + m) and map-free:
+// node IDs scatter into a sorted (id, node) index that NodeByID
+// binary-searches, the slot-geometry fill is one ascending-sender pass
+// (sharded across a worker pool when workers > 1, bit-identically), and
+// the engine buffers are allocated but never initialized — the global
+// round clock starts above zero, so zero-valued stamps already read as
+// "never written" (see ARCHITECTURE.md "The construction pipeline").
+//
 // Cost accounting follows the paper's measures: Rounds is the number of
 // synchronous rounds executed until global quiescence (or the budget), and
 // Messages counts every send. Quiescence — no node active and no message in

@@ -1,0 +1,33 @@
+package congest
+
+import (
+	"fmt"
+	"testing"
+
+	"shortcutpa/internal/graph"
+)
+
+// BenchmarkNetworkSetup measures the construction pipeline end to end —
+// graph build (generator streaming into the CSR Builder), NewNetwork (ID
+// index + slot geometry), and the engine-buffer allocation — on a size
+// ladder of square tori from n=10^4 to n=10^6. This is the regression gate
+// for the ROADMAP's "setup turns superlinear" bottleneck: sec/op should
+// scale ~linearly with n down the ladder (`make bench-compare` prints the
+// trajectory). Unlike the storm benchmarks, nothing here is warmed: setup
+// cost is precisely the cost of cold, per-instance work.
+func BenchmarkNetworkSetup(b *testing.B) {
+	for _, side := range []int{100, 320, 1000} {
+		n := side * side
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				g := graph.Torus(side, side)
+				net := NewNetwork(g, 42)
+				net.buf = newEngineBuffers(net)
+				if net.N() != n {
+					b.Fatal("unexpected node count")
+				}
+			}
+		})
+	}
+}

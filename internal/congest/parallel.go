@@ -23,54 +23,118 @@ package congest
 //
 // The result is bit-identical to the sequential engine: same outputs, same
 // Rounds/Messages, same PRNG streams.
+//
+// The pool itself is job-generic: a wave hands every worker the same
+// func(i) and barriers on their reports. The round loop runs its two waves
+// (step, wake scan) through it, and NewNetwork reuses the identical
+// machinery to shard the one-time slot-geometry fill (fillGeometryParallel)
+// instead of growing a second pool implementation.
 
-// poolPhase selects what a parked worker does when woken.
-type poolPhase uint8
+// job is one wave's work for worker i: process shard i, report counters.
+// Waves barrier on all workers, so a job must touch only shard-i state (or
+// read-only shared state) — the same discipline the round waves follow.
+type job func(i int) shardDone
 
-const (
-	phaseStep poolPhase = iota // step the shard's scheduled nodes
-	phaseScan                  // derive the shard's wake stamps
-)
-
-// shardDone is one worker's end-of-round report: how many messages its
+// shardDone is one worker's end-of-wave report: how many messages its
 // nodes sent, how many of them stepped active, and a recovered protocol
-// panic if any.
+// panic if any. Waves that only mutate shard state report zeroes.
 type shardDone struct {
 	sent   int64
 	active int64
 	rec    any
 }
 
-// pool is a phase-lifetime worker pool: workers park between rounds on
-// their start channel rather than being respawned every round (phases run
-// for thousands of rounds). The start/done channel handoffs also establish
-// the happens-before edges between worker stepping, the sharded wake scan,
-// and the coordinator's buffer flip.
+// pool is a worker pool of parked goroutines: workers park between waves
+// on their start channel rather than being respawned (phases run for
+// thousands of rounds). The start/done channel handoffs also establish the
+// happens-before edges between a wave's shard writes and the next wave's
+// reads — the ordering both the wake scan and the geometry fill's
+// count → prefix → place pipeline rely on.
 type pool struct {
-	start []chan poolPhase
+	start []chan job
 	done  chan shardDone // one report per worker per wave
+}
+
+// newPool starts k parked workers. Every job runs under a recover so a
+// panic inside a shard (a protocol model violation) is reported, not lost
+// to a dead goroutine; wave re-raises it on the coordinator.
+func newPool(k int) *pool {
+	p := &pool{done: make(chan shardDone, k)}
+	for i := 0; i < k; i++ {
+		ch := make(chan job, 1)
+		p.start = append(p.start, ch)
+		go func(i int) {
+			for j := range ch {
+				p.done <- runShard(j, i)
+			}
+		}(i)
+	}
+	return p
+}
+
+// runShard runs one worker's share of a wave, converting a panic into a
+// report the coordinator re-raises.
+func runShard(j job, i int) (res shardDone) {
+	defer func() {
+		if r := recover(); r != nil {
+			res.rec = r
+		}
+	}()
+	return j(i)
+}
+
+// wave runs one job on every worker and blocks until all report,
+// accumulating the reports. The first recovered panic is re-raised on the
+// caller's goroutine, after the barrier, exactly as the sequential engine
+// would surface it.
+func (p *pool) wave(j job) (sent, active int64) {
+	for _, ch := range p.start {
+		ch <- j
+	}
+	var rec any
+	for range p.start {
+		res := <-p.done
+		sent += res.sent
+		active += res.active
+		if res.rec != nil && rec == nil {
+			rec = res.rec
+		}
+	}
+	if rec != nil {
+		panic(rec)
+	}
+	return sent, active
+}
+
+// close releases the pool's workers.
+func (p *pool) close() {
+	for _, ch := range p.start {
+		close(ch)
+	}
+}
+
+// shardBlock returns worker i's contiguous block [lo, hi) of k shards over
+// n items. Contiguity makes every per-node array (active, recvLen,
+// wakeNext, ...) write in disjoint cache-line ranges per worker, at the
+// price of possible imbalance when active nodes cluster — acceptable
+// because the engine targets rounds where most nodes do work.
+func shardBlock(i, k, n int) (lo, hi int) {
+	return i * n / k, (i + 1) * n / k
 }
 
 func (st *runState) ensurePool() {
 	if st.pool != nil {
 		return
 	}
-	p := &pool{done: make(chan shardDone, st.workers)}
-	for i := 0; i < st.workers; i++ {
-		ch := make(chan poolPhase, 1)
-		p.start = append(p.start, ch)
-		go func(i int) {
-			for ph := range ch {
-				if ph == phaseScan {
-					st.scanShard(i)
-					p.done <- shardDone{}
-					continue
-				}
-				p.done <- st.stepShard(i)
-			}
-		}(i)
+	st.pool = newPool(st.workers)
+	// The two round waves are hoisted closures: allocating them per round
+	// would put the coordinator back on the per-round allocation budget the
+	// flat engine is designed to keep at zero.
+	st.stepJob = st.stepShard
+	st.scanJob = func(i int) shardDone {
+		st.scanShard(i)
+		return shardDone{}
 	}
-	st.pool = p
 }
 
 // close releases the pool's workers; runs are resumable afterwards only via
@@ -79,26 +143,18 @@ func (st *runState) close() {
 	if st.pool == nil {
 		return
 	}
-	for _, ch := range st.pool.start {
-		close(ch)
-	}
+	st.pool.close()
 	st.pool = nil
 }
 
-// shardRange returns worker i's contiguous node block [lo, hi). Contiguity
-// makes every per-node array (active, recvLen, wakeNext, ...) write in
-// disjoint cache-line ranges per worker, at the price of possible imbalance
-// when active nodes cluster — acceptable because the engine targets rounds
-// where most nodes do work.
+// shardRange returns worker i's contiguous node block [lo, hi).
 func (st *runState) shardRange(i int) (lo, hi int) {
-	n := st.net.N()
-	return i * n / st.workers, (i + 1) * n / st.workers
+	return shardBlock(i, st.workers, st.net.N())
 }
 
-// stepShard steps worker i's nodes and reports its message count plus the
-// recovered panic value, if any.
+// stepShard steps worker i's nodes and reports its message and active
+// counts.
 func (st *runState) stepShard(i int) (res shardDone) {
-	defer func() { res.rec = recover() }()
 	lo, hi := st.shardRange(i)
 	var sent int64
 	ctx := Ctx{st: st, sent: &sent}
@@ -127,40 +183,18 @@ func (st *runState) scanShard(i int) {
 	}
 }
 
-// wave runs one pool phase on every worker and blocks until all report,
-// accumulating the reports.
-func (st *runState) wave(ph poolPhase) (sent, active int64, rec any) {
-	for _, ch := range st.pool.start {
-		ch <- ph
-	}
-	for range st.pool.start {
-		res := <-st.pool.done
-		sent += res.sent
-		active += res.active
-		if res.rec != nil && rec == nil {
-			rec = res.rec
-		}
-	}
-	return sent, active, rec
-}
-
 // stepParallel runs one synchronous round on the worker pool and returns
 // the number of messages sent.
 func (st *runState) stepParallel() int64 {
 	st.started = true
 	st.ensurePool()
-	sent, active, protocolPanic := st.wave(phaseStep)
-	if protocolPanic != nil {
-		// A model violation (e.g. double send) inside a worker: re-raise on
-		// the caller's goroutine, as the sequential engine would.
-		panic(protocolPanic)
-	}
+	sent, active := st.pool.wave(st.stepJob)
 	st.activeCount = active
 	// Wake scan, sharded across the same workers (second barrier phase).
 	// The sequential engine writes no wake stamps when nothing was sent, so
 	// skipping the wave on sent == 0 is exact, not an approximation.
 	if sent > 0 {
-		st.wave(phaseScan)
+		st.pool.wave(st.scanJob)
 	}
 	// With the active count summed per shard above and quiescence read off
 	// it, the coordinator's serial work this round was O(workers) channel
@@ -169,4 +203,72 @@ func (st *runState) stepParallel() int64 {
 	st.inFlight = sent
 	st.round++
 	return sent
+}
+
+// minParallelFillNodes gates the sharded geometry fill: below this the
+// whole fill costs less than spinning up a pool.
+const minParallelFillNodes = 1 << 14
+
+// fillGeometryParallel is the sharded slot-geometry fill: the same
+// destSlot/portSlot tables the sequential pass in fillGeometry produces,
+// computed in three waves on a temporary pool. The sequential pass is a
+// running-counter scan (slot of half-edge u→v is RowStart[v] + how many
+// half-edges into v precede it in ascending sender order), which
+// parallelizes by splitting that count per sender shard:
+//
+//	count:  worker w counts, per receiver v, the half-edges into v from
+//	        its own sender block — cnt[w][v], disjoint by w.
+//	prefix: worker w, now sharded by receiver, converts each of its
+//	        receivers' count columns to exclusive prefix sums — cnt[w][v]
+//	        becomes the fill offset where sender block w starts in v's
+//	        slot range. Disjoint by v.
+//	place:  worker w rescans its sender block in ascending order, placing
+//	        half-edge u→v at RowStart[v] + cnt[w][v]++ — per-shard fill
+//	        counters, advanced exactly as the sequential scan would.
+//
+// Every slot value equals the sequential pass's: sender blocks are
+// ascending and contiguous, so block-w-start + within-block-rank is the
+// global ascending-sender rank. Writes are disjoint (destSlot by sender
+// half-edge, portSlot by the receiver half-edge paired to it — a
+// bijection), and the wave barriers order count → prefix → place.
+func (n *Network) fillGeometryParallel(workers int) {
+	nodes := n.N()
+	rs := n.csr.RowStart
+	cnt := make([]int32, workers*nodes) // cnt[w*nodes+v]
+	p := newPool(workers)
+	defer p.close()
+	p.wave(func(w int) shardDone {
+		row := cnt[w*nodes : (w+1)*nodes]
+		lo, hi := shardBlock(w, workers, nodes)
+		for h := rs[lo]; h < rs[hi]; h++ {
+			row[n.csr.PortTo[h]]++
+		}
+		return shardDone{}
+	})
+	p.wave(func(w int) shardDone {
+		lo, hi := shardBlock(w, workers, nodes)
+		for v := lo; v < hi; v++ {
+			var off int32
+			for w2 := 0; w2 < workers; w2++ {
+				c := cnt[w2*nodes+v]
+				cnt[w2*nodes+v] = off
+				off += c
+			}
+		}
+		return shardDone{}
+	})
+	p.wave(func(w int) shardDone {
+		row := cnt[w*nodes : (w+1)*nodes]
+		lo, hi := shardBlock(w, workers, nodes)
+		for u := lo; u < hi; u++ {
+			for h := rs[u]; h < rs[u+1]; h++ {
+				v := n.csr.PortTo[h]
+				slot := rs[v] + row[v]
+				row[v]++
+				n.destSlot[h] = slot
+				n.portSlot[rs[v]+n.csr.PortRev[h]] = slot
+			}
+		}
+		return shardDone{}
+	})
 }

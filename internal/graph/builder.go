@@ -1,0 +1,147 @@
+package graph
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Builder constructs a Graph from a stream of edges in O(n + m) with no
+// hash maps and no retained intermediates beyond the edge list itself.
+// Degrees are counted as edges arrive, per-edge validation (range,
+// self-loop, weight) happens inline in AddEdge, and duplicate detection is
+// a sort-free per-row scan of the freshly filled CSR in Finish — the mark
+// array replaces the old map[[2]int]struct{} whose ~m hash inserts
+// dominated construction at n = 10^6.
+//
+// Finish takes ownership of the streamed edges: unlike New, which must
+// defensively copy a caller-owned slice, a Builder's edge storage is
+// private from the start, so the finished Graph adopts it directly. A
+// Builder is single-use; Finish invalidates it.
+type Builder struct {
+	n     int
+	edges []Edge
+	deg   []int32
+	err   error // first inline (range / self-loop / weight) error; stops intake
+	done  bool
+}
+
+// NewBuilder returns a Builder for a graph on n nodes. mHint sizes the edge
+// storage; generators that know their exact edge count pass it to make
+// construction a single allocation per array, but the hint is only a hint —
+// AddEdge grows past it as needed.
+func NewBuilder(n, mHint int) *Builder {
+	b := &Builder{n: n}
+	if n < 0 {
+		b.err = errors.New("graph: negative node count")
+		return b
+	}
+	if err := checkCSRIndexRange(int64(n), 0); err != nil {
+		// Refuse before allocating the n-sized degree array: an over-limit
+		// node count must fail cleanly, not attempt a multi-GB build.
+		b.err = err
+		return b
+	}
+	if mHint < 0 {
+		mHint = 0
+	}
+	b.edges = make([]Edge, 0, mHint)
+	b.deg = make([]int32, n)
+	return b
+}
+
+// AddEdge streams one undirected edge into the builder, validating range,
+// self-loops, and weight positivity inline. After the first invalid edge
+// the builder stops accepting (Finish reports the error); duplicate edges
+// are accepted here and rejected by Finish's per-row check.
+func (b *Builder) AddEdge(u, v int, w Weight) {
+	if b.err != nil {
+		return
+	}
+	if u < 0 || u >= b.n || v < 0 || v >= b.n {
+		b.err = fmt.Errorf("graph: edge (%d,%d) out of range [0,%d)", u, v, b.n)
+		return
+	}
+	if u == v {
+		b.err = fmt.Errorf("graph: self-loop at %d", u)
+		return
+	}
+	if w <= 0 {
+		b.err = fmt.Errorf("graph: edge (%d,%d) has non-positive weight %d", u, v, w)
+		return
+	}
+	b.edges = append(b.edges, Edge{U: u, V: v, W: w})
+	b.deg[u]++
+	b.deg[v]++
+}
+
+// Finish validates duplicates, builds the CSR adjacency, and returns the
+// graph, taking ownership of the streamed edge list (no copy). The builder
+// must not be used afterwards.
+//
+// Error precedence matches New exactly: the reported error is the one at
+// the smallest offending edge index, where an index offends by being out of
+// range / a self-loop / non-positive (caught inline, which also stops
+// intake) or by being the second occurrence of an edge (caught here). Any
+// duplicate among the accepted prefix necessarily precedes the inline
+// error's index, so duplicates win when both exist.
+func (b *Builder) Finish() (*Graph, error) {
+	if b.done {
+		return nil, errors.New("graph: Finish called twice on one Builder")
+	}
+	b.done = true
+	if b.n < 0 {
+		return nil, b.err
+	}
+	if err := checkCSRIndexRange(int64(b.n), int64(len(b.edges))); err != nil {
+		return nil, err
+	}
+	g := &Graph{n: b.n, edges: b.edges}
+	g.csr = buildCSR(b.n, g.edges, b.deg)
+	if dup := findDuplicate(b.n, g.csr); dup >= 0 {
+		e := g.edges[dup]
+		return nil, fmt.Errorf("graph: duplicate edge (%d,%d)", e.U, e.V)
+	}
+	if b.err != nil {
+		return nil, b.err
+	}
+	return g, nil
+}
+
+// MustFinish is Finish but panics on error — the generator-side counterpart
+// of MustNew, for edge streams correct by construction.
+func (b *Builder) MustFinish() *Graph {
+	g, err := b.Finish()
+	if err != nil {
+		panic(err)
+	}
+	return g
+}
+
+// findDuplicate returns the smallest edge index that is a second occurrence
+// of an undirected edge, or -1. It is the builder's sort-free duplicate
+// check: within a CSR row, ports appear in edge-input order, so scanning
+// each row with an epoch-stamped mark array (mark[u] == v+1 iff u was
+// already seen in v's row) flags exactly the later edge of every duplicate
+// pair, in O(n + 2m) total and one flat allocation — no map, no sort, and
+// no initialization pass either: stamps are v+1 >= 1, so the zero value a
+// fresh array carries already means "unseen". Each pair is flagged in both
+// endpoint rows with the same edge index, so the minimum over flags is the
+// first duplicate in input order, matching the edge the old map-based New
+// reported.
+func findDuplicate(n int, c CSR) int {
+	dup := -1
+	mark := make([]int32, n)
+	for v := 0; v < n; v++ {
+		for h := c.RowStart[v]; h < c.RowStart[v+1]; h++ {
+			u := c.PortTo[h]
+			if mark[u] == int32(v)+1 {
+				if e := int(c.PortEdge[h]); dup < 0 || e < dup {
+					dup = e
+				}
+				continue
+			}
+			mark[u] = int32(v) + 1
+		}
+	}
+	return dup
+}

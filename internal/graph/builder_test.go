@@ -1,0 +1,243 @@
+package graph
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"testing"
+)
+
+// refNew is the pre-Builder construction path, preserved verbatim as the
+// test oracle: defensive copy, map-based duplicate detection, first bad
+// edge in input order wins. Builder/New must match it bit for bit — same
+// CSR arrays, same edge order, same error text.
+func refNew(n int, edges []Edge) (*Graph, error) {
+	if n < 0 {
+		return nil, fmt.Errorf("graph: negative node count")
+	}
+	if err := checkCSRIndexRange(int64(n), int64(len(edges))); err != nil {
+		return nil, err
+	}
+	g := &Graph{n: n, edges: append([]Edge(nil), edges...)}
+	seen := make(map[[2]int]struct{}, len(edges))
+	deg := make([]int32, n)
+	for _, e := range g.edges {
+		if e.U < 0 || e.U >= n || e.V < 0 || e.V >= n {
+			return nil, fmt.Errorf("graph: edge (%d,%d) out of range [0,%d)", e.U, e.V, n)
+		}
+		if e.U == e.V {
+			return nil, fmt.Errorf("graph: self-loop at %d", e.U)
+		}
+		if e.W <= 0 {
+			return nil, fmt.Errorf("graph: edge (%d,%d) has non-positive weight %d", e.U, e.V, e.W)
+		}
+		key := [2]int{min(e.U, e.V), max(e.U, e.V)}
+		if _, dup := seen[key]; dup {
+			return nil, fmt.Errorf("graph: duplicate edge (%d,%d)", e.U, e.V)
+		}
+		seen[key] = struct{}{}
+		deg[e.U]++
+		deg[e.V]++
+	}
+	g.csr = buildCSR(n, g.edges, deg)
+	return g, nil
+}
+
+// builderGraphs are the generator outputs the bit-identity test replays.
+// Every generator family is represented, including both random ones.
+func builderGraphs(tb testing.TB) map[string]*Graph {
+	tb.Helper()
+	rng := rand.New(rand.NewSource(11))
+	return map[string]*Graph{
+		"path":      Path(40),
+		"cycle":     Cycle(17),
+		"star":      Star(33),
+		"grid":      Grid(7, 9),
+		"torus":     Torus(5, 8),
+		"ladder":    Ladder(12),
+		"cbt":       CompleteBinaryTree(5),
+		"randtree":  RandomTree(50, rng),
+		"ktree":     KTree(40, 3, rng),
+		"er":        ErdosRenyi(45, 0.15, rng),
+		"randconn":  RandomConnected(60, 0.08, rng),
+		"lollipop":  Lollipop(30, 8),
+		"gridstar":  GridStar(4, 11),
+		"reweight":  RandomizeWeights(Grid(6, 6), 50, rng),
+		"empty":     MustNew(0, nil),
+		"singleton": MustNew(1, nil),
+	}
+}
+
+// TestBuilderMatchesReferenceOnGenerators replays every generator's edge
+// list through the reference path and through a raw Builder, and requires
+// bit-identical results: node/edge counts, edge order and weights, and all
+// four CSR arrays.
+func TestBuilderMatchesReferenceOnGenerators(t *testing.T) {
+	for name, g := range builderGraphs(t) {
+		t.Run(name, func(t *testing.T) {
+			edges := g.Edges()
+			ref, err := refNew(g.N(), edges)
+			if err != nil {
+				t.Fatalf("reference rejected generator output: %v", err)
+			}
+			b := NewBuilder(g.N(), len(edges))
+			for _, e := range edges {
+				b.AddEdge(e.U, e.V, e.W)
+			}
+			built, err := b.Finish()
+			if err != nil {
+				t.Fatalf("Builder rejected generator output: %v", err)
+			}
+			for _, pair := range []struct {
+				name string
+				got  *Graph
+			}{{"builder", built}, {"generator", g}} {
+				assertGraphsIdentical(t, pair.name, pair.got, ref)
+			}
+		})
+	}
+}
+
+func assertGraphsIdentical(t *testing.T, name string, got, want *Graph) {
+	t.Helper()
+	if got.N() != want.N() || got.M() != want.M() {
+		t.Fatalf("%s: n=%d m=%d, want n=%d m=%d", name, got.N(), got.M(), want.N(), want.M())
+	}
+	if !reflect.DeepEqual(got.edges, want.edges) && !(len(got.edges) == 0 && len(want.edges) == 0) {
+		t.Fatalf("%s: edge lists differ", name)
+	}
+	gc, wc := got.CSR(), want.CSR()
+	if !reflect.DeepEqual(gc.RowStart, wc.RowStart) {
+		t.Fatalf("%s: RowStart differs", name)
+	}
+	if !reflect.DeepEqual(gc.PortTo, wc.PortTo) && len(gc.PortTo) != 0 {
+		t.Fatalf("%s: PortTo differs", name)
+	}
+	if !reflect.DeepEqual(gc.PortEdge, wc.PortEdge) && len(gc.PortEdge) != 0 {
+		t.Fatalf("%s: PortEdge differs", name)
+	}
+	if !reflect.DeepEqual(gc.PortRev, wc.PortRev) && len(gc.PortRev) != 0 {
+		t.Fatalf("%s: PortRev differs", name)
+	}
+}
+
+// TestBuilderErrorParity feeds invalid inputs through refNew, New, and a
+// raw Builder; all three must reject with the same message. The cases pin
+// the precedence rules: first offending edge index wins, and a duplicate
+// earlier in the stream beats an inline error later in it.
+func TestBuilderErrorParity(t *testing.T) {
+	cases := []struct {
+		name  string
+		n     int
+		edges []Edge
+	}{
+		{"out-of-range-high", 3, []Edge{{U: 0, V: 3, W: 1}}},
+		{"out-of-range-negative", 3, []Edge{{U: -1, V: 2, W: 1}}},
+		{"self-loop", 3, []Edge{{U: 1, V: 1, W: 1}}},
+		{"zero-weight", 3, []Edge{{U: 0, V: 1, W: 0}}},
+		{"negative-weight", 3, []Edge{{U: 0, V: 1, W: -4}}},
+		{"duplicate-same-orientation", 3, []Edge{{U: 0, V: 1, W: 1}, {U: 0, V: 1, W: 2}}},
+		{"duplicate-flipped", 3, []Edge{{U: 0, V: 1, W: 1}, {U: 1, V: 0, W: 2}}},
+		{"triple-edge", 3, []Edge{{U: 0, V: 1, W: 1}, {U: 1, V: 0, W: 2}, {U: 0, V: 1, W: 3}}},
+		{"dup-before-self-loop", 4, []Edge{{U: 0, V: 1, W: 1}, {U: 1, V: 0, W: 1}, {U: 2, V: 2, W: 1}}},
+		{"self-loop-before-dup", 4, []Edge{{U: 2, V: 2, W: 1}, {U: 0, V: 1, W: 1}, {U: 1, V: 0, W: 1}}},
+		{"range-before-dup", 4, []Edge{{U: 0, V: 9, W: 1}, {U: 0, V: 1, W: 1}, {U: 1, V: 0, W: 1}}},
+		{"two-dups-first-wins", 5, []Edge{{U: 0, V: 1, W: 1}, {U: 2, V: 3, W: 1}, {U: 3, V: 2, W: 1}, {U: 1, V: 0, W: 1}}},
+		{"negative-n", -1, nil},
+		{"negative-n-with-edges", -2, []Edge{{U: 0, V: 1, W: 1}}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, refErr := refNew(tc.n, tc.edges)
+			if refErr == nil {
+				t.Fatal("reference accepted an invalid input")
+			}
+			_, newErr := New(tc.n, tc.edges)
+			if newErr == nil || newErr.Error() != refErr.Error() {
+				t.Fatalf("New error = %v, want %v", newErr, refErr)
+			}
+			b := NewBuilder(tc.n, len(tc.edges))
+			for _, e := range tc.edges {
+				b.AddEdge(e.U, e.V, e.W)
+			}
+			_, bErr := b.Finish()
+			if bErr == nil || bErr.Error() != refErr.Error() {
+				t.Fatalf("Builder error = %v, want %v", bErr, refErr)
+			}
+		})
+	}
+}
+
+// TestBuilderOverflowGuard pins the int32 CSR guard on both entry points
+// without materializing a huge build: an over-int32 node count must fail
+// before allocating anything n-sized.
+func TestBuilderOverflowGuard(t *testing.T) {
+	const tooManyNodes = int(1)<<31 + 1
+	if _, err := New(tooManyNodes, nil); err == nil {
+		t.Fatal("New accepted an over-int32 node count")
+	}
+	b := NewBuilder(tooManyNodes, 0)
+	b.AddEdge(0, 1, 1) // must be a no-op, not a nil-deg panic
+	if _, err := b.Finish(); err == nil {
+		t.Fatal("Builder accepted an over-int32 node count")
+	}
+}
+
+// TestBuilderFinishTwice: a Builder is single-use.
+func TestBuilderFinishTwice(t *testing.T) {
+	b := NewBuilder(2, 1)
+	b.AddEdge(0, 1, 1)
+	if _, err := b.Finish(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.Finish(); err == nil {
+		t.Fatal("second Finish succeeded, want error")
+	}
+}
+
+// TestBuilderTakesOwnership: Finish must not copy the streamed edges — the
+// returned graph's backing array is the builder's. (This is the property
+// that lets generators skip New's defensive copy.)
+func TestBuilderTakesOwnership(t *testing.T) {
+	b := NewBuilder(3, 2)
+	b.AddEdge(0, 1, 5)
+	b.AddEdge(1, 2, 7)
+	inner := b.edges
+	g, err := b.Finish()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if &g.edges[0] != &inner[0] {
+		t.Fatal("Finish copied the edge list; want ownership transfer")
+	}
+}
+
+// TestForEdgesMatchesEdges: ForEdges yields the same (index, edge) stream
+// Edges exposes, and honors early exit.
+func TestForEdgesMatchesEdges(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	g := RandomConnected(40, 0.1, rng)
+	want := g.Edges()
+	i := 0
+	g.ForEdges(func(idx int, e Edge) bool {
+		if idx != i {
+			t.Fatalf("ForEdges index %d, want %d", idx, i)
+		}
+		if e != want[i] {
+			t.Fatalf("ForEdges edge %d = %+v, want %+v", i, e, want[i])
+		}
+		i++
+		return true
+	})
+	if i != len(want) {
+		t.Fatalf("ForEdges visited %d edges, want %d", i, len(want))
+	}
+	stops := 0
+	g.ForEdges(func(int, Edge) bool {
+		stops++
+		return stops < 3
+	})
+	if stops != 3 {
+		t.Fatalf("ForEdges early exit visited %d, want 3", stops)
+	}
+}

@@ -7,11 +7,19 @@
 // knows only its own ID and its ports. Edge weights are positive integers in
 // [1, poly(n)], as in the paper.
 //
-// Adjacency is stored in compressed sparse row (CSR) form: three flat int32
+// Adjacency is stored in compressed sparse row (CSR) form: flat int32
 // arrays indexed by global half-edge number rowStart[v]+p. Ports of one node
 // are contiguous, so port iteration is a linear scan and the CONGEST engine
 // can address its per-edge message slots by the same offsets (see
 // internal/congest). The port-based accessors are thin views over the CSR
 // arrays; hot loops should use ForPorts or CSR() rather than calling
-// Neighbor/EdgeIndex per port.
+// Neighbor/EdgeIndex per port, and edge iteration should use ForEdges
+// rather than the copying Edges.
+//
+// Graphs are constructed through Builder (NewBuilder / AddEdge / Finish), a
+// streaming O(n + m) path with no hash maps: degrees are counted as edges
+// arrive, validation is inline, duplicate detection is a per-row scan of
+// the filled CSR, and Finish adopts the streamed edge list without copying.
+// Every generator streams into a Builder sized to its exact edge count;
+// New/MustNew remain as thin adapters for callers holding an edge slice.
 package graph

@@ -9,13 +9,18 @@ import (
 // RandomizeWeights assigns weights uniform in [1, maxW].
 const defaultWeight Weight = 1
 
+// Every generator streams its edges straight into a Builder sized to the
+// family's exact edge count (or, for the random families, its expectation),
+// so construction is O(n + m) with one allocation per flat array and no
+// intermediate edge slice for New to re-validate and copy.
+
 // Path returns the path graph on n nodes: 0-1-2-...-(n-1). Pathwidth 1.
 func Path(n int) *Graph {
-	edges := make([]Edge, 0, n-1)
+	b := NewBuilder(n, n-1)
 	for i := 0; i+1 < n; i++ {
-		edges = append(edges, Edge{U: i, V: i + 1, W: defaultWeight})
+		b.AddEdge(i, i+1, defaultWeight)
 	}
-	return MustNew(n, edges)
+	return b.MustFinish()
 }
 
 // Cycle returns the cycle graph on n >= 3 nodes.
@@ -23,39 +28,47 @@ func Cycle(n int) *Graph {
 	if n < 3 {
 		panic(fmt.Sprintf("graph: Cycle needs n >= 3, got %d", n))
 	}
-	edges := make([]Edge, 0, n)
+	b := NewBuilder(n, n)
 	for i := 0; i < n; i++ {
-		edges = append(edges, Edge{U: i, V: (i + 1) % n, W: defaultWeight})
+		b.AddEdge(i, (i+1)%n, defaultWeight)
 	}
-	return MustNew(n, edges)
+	return b.MustFinish()
 }
 
 // Star returns the star graph: node 0 is the hub, nodes 1..n-1 are leaves.
 func Star(n int) *Graph {
-	edges := make([]Edge, 0, n-1)
+	b := NewBuilder(n, n-1)
 	for i := 1; i < n; i++ {
-		edges = append(edges, Edge{U: 0, V: i, W: defaultWeight})
+		b.AddEdge(0, i, defaultWeight)
 	}
-	return MustNew(n, edges)
+	return b.MustFinish()
 }
 
 // Grid returns the rows x cols grid graph (planar, diameter rows+cols-2).
 // Node (r,c) has index r*cols+c.
 func Grid(rows, cols int) *Graph {
 	n := rows * cols
-	edges := make([]Edge, 0, 2*n)
+	b := NewBuilder(n, gridEdgeCount(rows, cols))
 	for r := 0; r < rows; r++ {
 		for c := 0; c < cols; c++ {
 			v := r*cols + c
 			if c+1 < cols {
-				edges = append(edges, Edge{U: v, V: v + 1, W: defaultWeight})
+				b.AddEdge(v, v+1, defaultWeight)
 			}
 			if r+1 < rows {
-				edges = append(edges, Edge{U: v, V: v + cols, W: defaultWeight})
+				b.AddEdge(v, v+cols, defaultWeight)
 			}
 		}
 	}
-	return MustNew(n, edges)
+	return b.MustFinish()
+}
+
+// gridEdgeCount is the exact edge count of the rows x cols grid.
+func gridEdgeCount(rows, cols int) int {
+	if rows < 1 || cols < 1 {
+		return 0
+	}
+	return rows*(cols-1) + (rows-1)*cols
 }
 
 // Torus returns the rows x cols torus (grid with wraparound): genus 1.
@@ -65,17 +78,17 @@ func Torus(rows, cols int) *Graph {
 		panic(fmt.Sprintf("graph: Torus needs rows,cols >= 3, got %dx%d", rows, cols))
 	}
 	n := rows * cols
-	edges := make([]Edge, 0, 2*n)
+	b := NewBuilder(n, 2*n)
 	for r := 0; r < rows; r++ {
 		for c := 0; c < cols; c++ {
 			v := r*cols + c
 			right := r*cols + (c+1)%cols
 			down := ((r+1)%rows)*cols + c
-			edges = append(edges, Edge{U: v, V: right, W: defaultWeight})
-			edges = append(edges, Edge{U: v, V: down, W: defaultWeight})
+			b.AddEdge(v, right, defaultWeight)
+			b.AddEdge(v, down, defaultWeight)
 		}
 	}
-	return MustNew(n, edges)
+	return b.MustFinish()
 }
 
 // Ladder returns the 2 x n ladder graph (pathwidth 2).
@@ -88,21 +101,21 @@ func CompleteBinaryTree(levels int) *Graph {
 		panic("graph: CompleteBinaryTree needs levels >= 1")
 	}
 	n := (1 << levels) - 1
-	edges := make([]Edge, 0, n-1)
+	b := NewBuilder(n, n-1)
 	for v := 1; v < n; v++ {
-		edges = append(edges, Edge{U: (v - 1) / 2, V: v, W: defaultWeight})
+		b.AddEdge((v-1)/2, v, defaultWeight)
 	}
-	return MustNew(n, edges)
+	return b.MustFinish()
 }
 
 // RandomTree returns a uniformly random labeled tree on n nodes built from a
 // random Prüfer-like attachment: node i attaches to a uniform node in [0, i).
 func RandomTree(n int, rng *rand.Rand) *Graph {
-	edges := make([]Edge, 0, n-1)
+	b := NewBuilder(n, n-1)
 	for i := 1; i < n; i++ {
-		edges = append(edges, Edge{U: rng.Intn(i), V: i, W: defaultWeight})
+		b.AddEdge(rng.Intn(i), i, defaultWeight)
 	}
-	return MustNew(n, edges)
+	return b.MustFinish()
 }
 
 // KTree returns a k-tree on n >= k+1 nodes (treewidth exactly k for n > k):
@@ -111,14 +124,14 @@ func KTree(n, k int, rng *rand.Rand) *Graph {
 	if n < k+1 {
 		panic(fmt.Sprintf("graph: KTree needs n >= k+1, got n=%d k=%d", n, k))
 	}
-	var edges []Edge
+	b := NewBuilder(n, k*(k+1)/2+(n-k-1)*k)
 	// cliques holds k-subsets that new nodes may attach to.
 	var cliques [][]int
 	base := make([]int, k+1)
 	for i := 0; i <= k; i++ {
 		base[i] = i
 		for j := 0; j < i; j++ {
-			edges = append(edges, Edge{U: j, V: i, W: defaultWeight})
+			b.AddEdge(j, i, defaultWeight)
 		}
 	}
 	// All k-subsets of the base clique.
@@ -134,7 +147,7 @@ func KTree(n, k int, rng *rand.Rand) *Graph {
 	for v := k + 1; v < n; v++ {
 		c := cliques[rng.Intn(len(cliques))]
 		for _, u := range c {
-			edges = append(edges, Edge{U: u, V: v, W: defaultWeight})
+			b.AddEdge(u, v, defaultWeight)
 		}
 		// New k-subsets: v plus each (k-1)-subset of c.
 		for drop := 0; drop < k; drop++ {
@@ -148,47 +161,48 @@ func KTree(n, k int, rng *rand.Rand) *Graph {
 			cliques = append(cliques, sub)
 		}
 	}
-	return MustNew(n, edges)
+	return b.MustFinish()
 }
 
 // ErdosRenyi returns G(n, p). The result may be disconnected; see
-// RandomConnected for a connected variant.
+// RandomConnected for a connected variant. The edge count is random, so the
+// builder is sized to its expectation.
 func ErdosRenyi(n int, p float64, rng *rand.Rand) *Graph {
-	var edges []Edge
+	b := NewBuilder(n, int(p*float64(n)*float64(n-1)/2))
 	for u := 0; u < n; u++ {
 		for v := u + 1; v < n; v++ {
 			if rng.Float64() < p {
-				edges = append(edges, Edge{U: u, V: v, W: defaultWeight})
+				b.AddEdge(u, v, defaultWeight)
 			}
 		}
 	}
-	return MustNew(n, edges)
+	return b.MustFinish()
 }
 
 // RandomConnected returns a connected G(n, p)-like graph: a random spanning
-// tree unioned with G(n, p) edges.
+// tree unioned with G(n, p) edges. Tree edges are pairwise distinct (each is
+// keyed by its larger endpoint) and so are the G(n, p) pairs, so the only
+// possible duplicates are G(n, p) edges that re-draw a tree edge — one flat
+// parent array answers that, replacing the old map[[2]int]struct{} dedup.
 func RandomConnected(n int, p float64, rng *rand.Rand) *Graph {
-	seen := make(map[[2]int]struct{}, n)
-	var edges []Edge
-	add := func(u, v int) {
-		key := [2]int{min(u, v), max(u, v)}
-		if _, dup := seen[key]; dup {
-			return
-		}
-		seen[key] = struct{}{}
-		edges = append(edges, Edge{U: u, V: v, W: defaultWeight})
+	b := NewBuilder(n, n-1+int(p*float64(n)*float64(n-1)/2))
+	treeParent := make([]int32, n)
+	for i := range treeParent {
+		treeParent[i] = -1
 	}
 	for i := 1; i < n; i++ {
-		add(rng.Intn(i), i)
+		u := rng.Intn(i)
+		treeParent[i] = int32(u)
+		b.AddEdge(u, i, defaultWeight)
 	}
 	for u := 0; u < n; u++ {
 		for v := u + 1; v < n; v++ {
-			if rng.Float64() < p {
-				add(u, v)
+			if rng.Float64() < p && treeParent[v] != int32(u) {
+				b.AddEdge(u, v, defaultWeight)
 			}
 		}
 	}
-	return MustNew(n, edges)
+	return b.MustFinish()
 }
 
 // Lollipop returns a clique on k nodes attached to a path of n-k nodes.
@@ -197,16 +211,16 @@ func Lollipop(n, k int) *Graph {
 	if k < 1 || k > n {
 		panic(fmt.Sprintf("graph: Lollipop needs 1 <= k <= n, got n=%d k=%d", n, k))
 	}
-	var edges []Edge
+	b := NewBuilder(n, k*(k-1)/2+(n-k))
 	for u := 0; u < k; u++ {
 		for v := u + 1; v < k; v++ {
-			edges = append(edges, Edge{U: u, V: v, W: defaultWeight})
+			b.AddEdge(u, v, defaultWeight)
 		}
 	}
 	for v := k; v < n; v++ {
-		edges = append(edges, Edge{U: v - 1, V: v, W: defaultWeight})
+		b.AddEdge(v-1, v, defaultWeight)
 	}
-	return MustNew(n, edges)
+	return b.MustFinish()
 }
 
 // GridStar is the paper's Figure 2 lower-bound instance: a rows x cols grid
@@ -216,11 +230,15 @@ func Lollipop(n, k int) *Graph {
 func GridStar(rows, cols int) *Graph {
 	n := rows * cols
 	g := Grid(rows, cols)
-	edges := g.Edges()
+	b := NewBuilder(n+1, g.M()+cols)
+	g.ForEdges(func(_ int, e Edge) bool {
+		b.AddEdge(e.U, e.V, e.W)
+		return true
+	})
 	for c := 0; c < cols; c++ {
-		edges = append(edges, Edge{U: n, V: c, W: defaultWeight})
+		b.AddEdge(n, c, defaultWeight)
 	}
-	return MustNew(n+1, edges)
+	return b.MustFinish()
 }
 
 // GridStarRowParts returns the Figure 2a partition of GridStar(rows, cols):

@@ -2,7 +2,6 @@ package graph
 
 import (
 	"errors"
-	"fmt"
 	"math"
 	"sort"
 )
@@ -41,36 +40,27 @@ type Graph struct {
 // Self-loops and duplicate edges are rejected. Port numbering follows edge
 // order: port p of node v leads across the p-th edge incident to v in the
 // input list.
+//
+// New is a thin adapter over Builder: streaming the caller's slice through
+// AddEdge is the defensive copy (the builder owns its storage from the
+// start), and validation, degree counting, and the duplicate check are the
+// builder's single-pass machinery. Callers that produce edges one at a time
+// should use Builder directly and skip the intermediate slice.
 func New(n int, edges []Edge) (*Graph, error) {
-	if n < 0 {
-		return nil, errors.New("graph: negative node count")
+	// Fail before streaming (and thus before the builder's copy): an
+	// over-limit request must not attempt a multi-GB build first. Finish
+	// re-checks for direct Builder users, whose stream length is unknown
+	// up front.
+	if n >= 0 {
+		if err := checkCSRIndexRange(int64(n), int64(len(edges))); err != nil {
+			return nil, err
+		}
 	}
-	if err := checkCSRIndexRange(int64(n), int64(len(edges))); err != nil {
-		return nil, err
+	b := NewBuilder(n, len(edges))
+	for _, e := range edges {
+		b.AddEdge(e.U, e.V, e.W)
 	}
-	g := &Graph{n: n, edges: append([]Edge(nil), edges...)}
-	seen := make(map[[2]int]struct{}, len(edges))
-	deg := make([]int32, n)
-	for _, e := range g.edges {
-		if e.U < 0 || e.U >= n || e.V < 0 || e.V >= n {
-			return nil, fmt.Errorf("graph: edge (%d,%d) out of range [0,%d)", e.U, e.V, n)
-		}
-		if e.U == e.V {
-			return nil, fmt.Errorf("graph: self-loop at %d", e.U)
-		}
-		if e.W <= 0 {
-			return nil, fmt.Errorf("graph: edge (%d,%d) has non-positive weight %d", e.U, e.V, e.W)
-		}
-		key := [2]int{min(e.U, e.V), max(e.U, e.V)}
-		if _, dup := seen[key]; dup {
-			return nil, fmt.Errorf("graph: duplicate edge (%d,%d)", e.U, e.V)
-		}
-		seen[key] = struct{}{}
-		deg[e.U]++
-		deg[e.V]++
-	}
-	g.csr = buildCSR(n, g.edges, deg)
-	return g, nil
+	return b.Finish()
 }
 
 // checkCSRIndexRange guards the int32 CSR layout: node indices and the 2m
@@ -168,11 +158,22 @@ func (g *Graph) ForPorts(v int, fn func(p, to, edge int) bool) {
 // Edge returns the i-th edge.
 func (g *Graph) Edge(i int) Edge { return g.edges[i] }
 
-// Edges returns a copy of the edge list.
+// Edges returns a copy of the edge list. Callers that only iterate should
+// use ForEdges, which walks the graph-owned list without the O(m) copy.
 func (g *Graph) Edges() []Edge {
 	out := make([]Edge, len(g.edges))
 	copy(out, g.edges)
 	return out
+}
+
+// ForEdges calls fn for each edge in index order until fn returns false.
+// The Edge values are copies; the underlying list is never exposed.
+func (g *Graph) ForEdges(fn func(i int, e Edge) bool) {
+	for i, e := range g.edges {
+		if !fn(i, e) {
+			return
+		}
+	}
 }
 
 // PortTo returns the port of v that leads to u, or -1 if u is not adjacent.
@@ -201,14 +202,14 @@ func (g *Graph) TotalWeight() Weight {
 }
 
 // Reweight returns a copy of g with edge i's weight given by w(i). Weights
-// must remain positive.
+// must remain positive. Streams straight into a Builder: one exactly-sized
+// edge allocation, no intermediate slice for New to re-copy.
 func (g *Graph) Reweight(w func(i int, e Edge) Weight) (*Graph, error) {
-	edges := make([]Edge, len(g.edges))
+	b := NewBuilder(g.n, len(g.edges))
 	for i, e := range g.edges {
-		e.W = w(i, e)
-		edges[i] = e
+		b.AddEdge(e.U, e.V, w(i, e))
 	}
-	return New(g.n, edges)
+	return b.Finish()
 }
 
 // SortedNeighbors returns the neighbor node indices of v in ascending order.

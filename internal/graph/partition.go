@@ -15,11 +15,12 @@ func ValidatePartition(g *Graph, parts []int) error {
 		return fmt.Errorf("graph: partition has %d entries for %d nodes", len(parts), g.N())
 	}
 	dsu := NewDSU(g.N())
-	for _, e := range g.Edges() {
+	g.ForEdges(func(_ int, e Edge) bool {
 		if parts[e.U] == parts[e.V] {
 			dsu.Union(e.U, e.V)
 		}
-	}
+		return true
+	})
 	root := make(map[int]int)
 	for v, p := range parts {
 		r := dsu.Find(v)

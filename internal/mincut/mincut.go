@@ -108,11 +108,12 @@ func treeSide(g *graph.Graph, treeEdges []int, cutEdge int) []bool {
 
 func cutWeightOf(g *graph.Graph, side []bool) graph.Weight {
 	var w graph.Weight
-	for _, e := range g.Edges() {
+	g.ForEdges(func(_ int, e graph.Edge) bool {
 		if side[e.U] != side[e.V] {
 			w += e.W
 		}
-	}
+		return true
+	})
 	return w
 }
 
