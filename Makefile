@@ -8,7 +8,7 @@ GO ?= go
 # PR number stamped into benchmark snapshots (BENCH_$(PR).json), and the
 # provenance note recorded inside; override both per perf PR, e.g.
 #   make bench PR=5 BENCH_NOTE="batched wake scan; vs BENCH_2: ..."
-PR ?= 5
+PR ?= 6
 BENCH_NOTE ?= engine benchmark snapshot (PR $(PR)); compare against the previous BENCH_<n>.json via benchstat
 
 build:
@@ -38,11 +38,12 @@ test-full:
 	$(GO) test ./...
 
 # Engine benchmarks (graph-family x worker-count matrix on n=10k graphs,
-# plus the BenchmarkNetworkSetup cold-construction ladder n=10^4..10^6),
-# snapshotted to a benchstat-friendly BENCH_$(PR).json for the perf
-# trajectory. Replay into benchstat with: jq -r '.raw[]' BENCH_$(PR).json
+# plus the BenchmarkNetworkSetup cold-construction ladder n=10^4..10^6 and
+# the BenchmarkJobThroughput multi-run serving row — runs/sec at pool
+# saturation), snapshotted to a benchstat-friendly BENCH_$(PR).json for the
+# perf trajectory. Replay into benchstat with: jq -r '.raw[]' BENCH_$(PR).json
 bench:
-	$(GO) test -run='^$$' -bench='BenchmarkEngine|BenchmarkNetworkSetup' -benchmem -benchtime=5x -count=3 ./internal/congest/ \
+	$(GO) test -run='^$$' -bench='BenchmarkEngine|BenchmarkNetworkSetup|BenchmarkJobThroughput' -benchmem -benchtime=5x -count=3 ./internal/congest/ ./internal/bench/ \
 		| tee /dev/stderr \
 		| $(GO) run ./cmd/benchsnap -o BENCH_$(PR).json -note "$(BENCH_NOTE)"
 
@@ -54,8 +55,8 @@ bench-smoke:
 # benchstat comparison of two committed benchmark snapshots (nightly CI
 # appends the output to its job summary for the perf trajectory). Falls
 # back to naming the raw snapshots when jq/benchstat are unavailable.
-BENCH_OLD ?= BENCH_4.json
-BENCH_NEW ?= BENCH_5.json
+BENCH_OLD ?= BENCH_5.json
+BENCH_NEW ?= BENCH_6.json
 bench-compare:
 	@if ! command -v jq >/dev/null 2>&1; then \
 		echo "bench-compare: jq unavailable; raw snapshots: $(BENCH_OLD) $(BENCH_NEW)"; exit 0; fi; \
@@ -82,6 +83,14 @@ bench-compare:
 		jq -r '.raw[]' $$f | grep -E 'BenchmarkNetworkSetup/' \
 			| awk '{printf "    %-40s %.1f ms/op  (%s allocs/op)\n", $$1, $$3/1e6, $$(NF-1)}' | sort -u; \
 		jq -r '.raw[]' $$f | grep -qE 'BenchmarkNetworkSetup/' || echo "    (no BenchmarkNetworkSetup rows in this snapshot)"; \
+	done; \
+	echo ""; \
+	echo "jobs throughput (BenchmarkJobThroughput; the multi-run serving trajectory):"; \
+	for f in $(BENCH_OLD) $(BENCH_NEW); do \
+		echo "  $$f:"; \
+		jq -r '.raw[]' $$f | grep -E 'BenchmarkJobThroughput/' \
+			| awk '{for (i=2; i<=NF; i++) if ($$i == "runs/sec") printf "    %-40s %s runs/sec\n", $$1, $$(i-1)}' | sort -u; \
+		jq -r '.raw[]' $$f | grep -qE 'BenchmarkJobThroughput/' || echo "    (no BenchmarkJobThroughput rows in this snapshot)"; \
 	done
 
 # Every package must carry its package comment in a doc.go file, so

@@ -1,25 +1,28 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"runtime"
 	"runtime/pprof"
 	"sort"
 	"strings"
+	"time"
 
 	"shortcutpa/internal/bench"
 )
 
 func main() {
-	if err := run(os.Args[1:]); err != nil {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
 		fmt.Fprintln(os.Stderr, "pabench:", err)
 		os.Exit(1)
 	}
 }
 
-func run(args []string) error {
+func run(args []string, stdout io.Writer) error {
 	fs := flag.NewFlagSet("pabench", flag.ContinueOnError)
 	var (
 		list       = fs.Bool("list", false, "list experiment IDs and exit")
@@ -28,6 +31,9 @@ func run(args []string) error {
 		workers    = fs.Int("workers", 1, "simulation engine workers (results are identical at any setting)")
 		sweep      = fs.Bool("sweep", false, "run the engine scale sweep (tori up to -sweep-max nodes) instead of the paper experiments")
 		sweepMax   = fs.Int("sweep-max", 1_000_000, "largest torus node count the scale sweep builds")
+		jobs       = fs.String("jobs", "", "serve a multi-run job spec (protocols x graphs x seeds) over one shared pool, streaming one JSON line per run; e.g. 'graphs=torus:400;protocols=mst,sssp;seeds=1-16'")
+		jobsPool   = fs.Int("jobs-pool", 0, "job-queue workers draining the -jobs spec (0 = GOMAXPROCS)")
+		jobsCache  = fs.Int("jobs-cache", 0, "warm-network LRU capacity for -jobs topology reuse (0 = default, negative disables reuse)")
 		cpuprofile = fs.String("cpuprofile", "", "write a CPU profile of the experiment run to this file")
 		memprofile = fs.String("memprofile", "", "write a heap profile taken after the experiment run to this file")
 	)
@@ -61,12 +67,37 @@ func run(args []string) error {
 			}
 		}()
 	}
+	if *jobs != "" {
+		spec, err := bench.ParseJobSpec(*jobs)
+		if err != nil {
+			return fmt.Errorf("jobs: %w", err)
+		}
+		spec.PoolWorkers = *jobsPool
+		spec.NetWorkers = *workers
+		spec.Cache = *jobsCache
+		enc := json.NewEncoder(stdout)
+		sum, err := bench.RunJobs(spec, func(r bench.Result) {
+			// RunJobs serializes emit calls; stream each run as it finishes.
+			if err := enc.Encode(r); err != nil {
+				fmt.Fprintln(os.Stderr, "pabench: jobs:", err)
+			}
+		})
+		if err != nil {
+			return fmt.Errorf("jobs: %w", err)
+		}
+		fmt.Fprintf(os.Stderr, "pabench: %d runs (%d reused, %d errors) in %s — %.1f runs/sec\n",
+			sum.Runs, sum.Reused, sum.Errors, sum.Elapsed.Round(time.Millisecond), sum.RunsPerSec)
+		if sum.Errors > 0 {
+			return fmt.Errorf("jobs: %d of %d runs failed (see err fields in the output)", sum.Errors, sum.Runs)
+		}
+		return nil
+	}
 	if *sweep {
 		table, err := bench.ScaleSweep(*seed, *sweepMax)
 		if err != nil {
 			return err
 		}
-		fmt.Println(table.Format())
+		fmt.Fprintln(stdout, table.Format())
 		return nil
 	}
 	all := bench.Experiments()
@@ -77,7 +108,7 @@ func run(args []string) error {
 	sort.Strings(ids)
 	if *list {
 		for _, id := range ids {
-			fmt.Println(id)
+			fmt.Fprintln(stdout, id)
 		}
 		return nil
 	}
@@ -94,7 +125,7 @@ func run(args []string) error {
 		if err != nil {
 			return fmt.Errorf("experiment %s: %w", id, err)
 		}
-		fmt.Println(table.Format())
+		fmt.Fprintln(stdout, table.Format())
 	}
 	return nil
 }

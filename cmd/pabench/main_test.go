@@ -1,25 +1,29 @@
 package main
 
 import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"io"
 	"os"
 	"path/filepath"
 	"testing"
 )
 
 func TestListFlag(t *testing.T) {
-	if err := run([]string{"-list"}); err != nil {
+	if err := run([]string{"-list"}, io.Discard); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestUnknownExperimentFails(t *testing.T) {
-	if err := run([]string{"-exp", "NOPE"}); err == nil {
+	if err := run([]string{"-exp", "NOPE"}, io.Discard); err == nil {
 		t.Fatal("unknown experiment ID did not error")
 	}
 }
 
 func TestBadFlagFails(t *testing.T) {
-	if err := run([]string{"-no-such-flag"}); err == nil {
+	if err := run([]string{"-no-such-flag"}, io.Discard); err == nil {
 		t.Fatal("bad flag did not error")
 	}
 }
@@ -33,7 +37,7 @@ func TestProfileFlagsWriteFiles(t *testing.T) {
 	dir := t.TempDir()
 	cpu := filepath.Join(dir, "cpu.out")
 	mem := filepath.Join(dir, "mem.out")
-	if err := run([]string{"-exp", "A3", "-seed", "7", "-cpuprofile", cpu, "-memprofile", mem}); err != nil {
+	if err := run([]string{"-exp", "A3", "-seed", "7", "-cpuprofile", cpu, "-memprofile", mem}, io.Discard); err != nil {
 		t.Fatal(err)
 	}
 	for _, p := range []string{cpu, mem} {
@@ -47,13 +51,55 @@ func TestProfileFlagsWriteFiles(t *testing.T) {
 	}
 }
 
+// TestJobsModeStreamsJSONL drives the serving mode through the CLI path: a
+// small protocols x graphs x seeds spec over a shared pool must emit exactly
+// one well-formed JSON object per expanded job, each carrying the stable
+// field set.
+func TestJobsModeStreamsJSONL(t *testing.T) {
+	var out bytes.Buffer
+	err := run([]string{
+		"-jobs", "graphs=torus:36,ladder:24;protocols=domset,verify;seeds=1,2",
+		"-jobs-pool", "2",
+	}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc := bufio.NewScanner(&out)
+	lines := 0
+	for sc.Scan() {
+		lines++
+		var r map[string]any
+		if err := json.Unmarshal(sc.Bytes(), &r); err != nil {
+			t.Fatalf("line %d is not JSON: %v\n%s", lines, err, sc.Text())
+		}
+		for _, field := range []string{"job", "protocol", "family", "n", "seed", "reused", "rounds", "messages", "output", "ms"} {
+			if _, ok := r[field]; !ok {
+				t.Errorf("line %d lacks field %q: %s", lines, field, sc.Text())
+			}
+		}
+		if _, ok := r["err"]; ok {
+			t.Errorf("line %d reports a run error: %s", lines, sc.Text())
+		}
+	}
+	if want := 2 * 2 * 2; lines != want {
+		t.Fatalf("jobs mode emitted %d JSON lines, want %d", lines, want)
+	}
+}
+
+// TestJobsBadSpecFails: a malformed spec is a CLI error, not a hang.
+func TestJobsBadSpecFails(t *testing.T) {
+	if err := run([]string{"-jobs", "graphs=nosuch:100"}, io.Discard); err == nil {
+		t.Fatal("unknown graph family in -jobs did not error")
+	}
+}
+
 // TestOneExperimentParallel runs the cheapest real experiment end-to-end
 // through the CLI path with the parallel engine enabled.
 func TestOneExperimentParallel(t *testing.T) {
 	if testing.Short() {
 		t.Skip("runs a full experiment")
 	}
-	if err := run([]string{"-exp", "A3", "-seed", "7", "-workers", "4"}); err != nil {
+	if err := run([]string{"-exp", "A3", "-seed", "7", "-workers", "4"}, io.Discard); err != nil {
 		t.Fatal(err)
 	}
 }

@@ -1,0 +1,47 @@
+package bench
+
+import (
+	"fmt"
+	"runtime"
+	"testing"
+)
+
+// BenchmarkJobThroughput measures the serving mode's headline number:
+// runs/sec draining a protocols × graphs × seeds queue over the shared
+// pool, with warm-network reuse on. pool=1 is the amortization baseline
+// (reuse without concurrency); pool=GOMAXPROCS is saturation — the number
+// the ROADMAP's throughput item tracks in BENCH_<pr>.json (make bench
+// snapshots the runs/sec metric, make bench-compare prints its trajectory).
+func BenchmarkJobThroughput(b *testing.B) {
+	pools := []int{1}
+	if p := runtime.GOMAXPROCS(0); p > 1 {
+		pools = append(pools, p)
+	}
+	for _, pool := range pools {
+		b.Run(fmt.Sprintf("pool=%d", pool), func(b *testing.B) {
+			spec := JobSpec{
+				Protocols:   []string{"domset", "verify", "corefast-pa"},
+				Graphs:      []GraphSpec{{Family: "torus", N: 64}, {Family: "random", N: 48}},
+				Seeds:       []int64{1, 2, 3, 4},
+				PoolWorkers: pool,
+			}
+			b.ReportAllocs()
+			runs := 0
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				sum, err := RunJobs(spec, nil)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if sum.Errors > 0 {
+					b.Fatalf("%d of %d runs failed", sum.Errors, sum.Runs)
+				}
+				runs += sum.Runs
+			}
+			b.StopTimer()
+			if s := b.Elapsed().Seconds(); s > 0 {
+				b.ReportMetric(float64(runs)/s, "runs/sec")
+			}
+		})
+	}
+}

@@ -1,0 +1,213 @@
+package bench
+
+import (
+	"encoding/json"
+	"reflect"
+	"sort"
+	"testing"
+)
+
+// jobs_test.go covers the multi-run serving mode: spec parsing, the JSONL
+// field-stability contract, bit-identical results at every pool width and
+// cache setting (the serving-side determinism proof), and the shared-pool
+// race leg that the CONGEST_WORKERS=4 CI matrix drives through the parallel
+// engine.
+
+func TestParseJobSpec(t *testing.T) {
+	spec, err := ParseJobSpec("protocols=mst,domset; graphs=torus:400,random:120; seeds=1,2,5-8")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := JobSpec{
+		Protocols: []string{"mst", "domset"},
+		Graphs:    []GraphSpec{{Family: "torus", N: 400}, {Family: "random", N: 120}},
+		Seeds:     []int64{1, 2, 5, 6, 7, 8},
+	}
+	if !reflect.DeepEqual(spec, want) {
+		t.Errorf("parsed %+v, want %+v", spec, want)
+	}
+
+	// protocols=all and a defaulted seeds clause expand at Expand time.
+	spec, err = ParseJobSpec("protocols=all;graphs=grid:64")
+	if err != nil {
+		t.Fatal(err)
+	}
+	jobs, err := spec.Expand()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := len(JobProtocolNames()); len(jobs) != want {
+		t.Errorf("all-protocols single-graph single-seed spec expanded to %d jobs, want %d", len(jobs), want)
+	}
+	for i, j := range jobs {
+		if j.Index != i || j.Seed != 1 {
+			t.Errorf("job %d: index %d seed %d, want index %d seed 1", i, j.Index, j.Seed, i)
+		}
+	}
+
+	for _, bad := range []string{
+		"",                           // no graphs
+		"graphs=torus",               // missing :n
+		"graphs=torus:x",             // bad size
+		"graphs=torus:400;seeds=9-2", // descending range
+		"graphs=torus:400;frobs=1",   // unknown key
+		"protocols",                  // not key=value
+	} {
+		if _, err := ParseJobSpec(bad); err == nil {
+			t.Errorf("ParseJobSpec(%q) succeeded, want error", bad)
+		}
+	}
+}
+
+func TestExpandRejectsUnknownNames(t *testing.T) {
+	if _, err := (JobSpec{Graphs: []GraphSpec{{Family: "moebius", N: 100}}}).Expand(); err == nil {
+		t.Error("unknown family accepted")
+	}
+	if _, err := (JobSpec{Protocols: []string{"frob"}, Graphs: []GraphSpec{{Family: "torus", N: 100}}}).Expand(); err == nil {
+		t.Error("unknown protocol accepted")
+	}
+	if _, err := (JobSpec{Graphs: []GraphSpec{{Family: "torus", N: 0}}}).Expand(); err == nil {
+		t.Error("non-positive size accepted")
+	}
+}
+
+// TestJobsJSONLFieldStability golden-pins the Result encoding: pabench
+// -jobs streams one such line per run, and downstream consumers key on the
+// exact field names and order. Changing this encoding is an output-format
+// break and must update this golden deliberately.
+func TestJobsJSONLFieldStability(t *testing.T) {
+	line, err := json.Marshal(Result{
+		Job: 3, Protocol: "mst", Family: "torus", N: 400, Seed: 7,
+		Reused: true, Rounds: 123, Messages: 4567,
+		Output: "00000000deadbeef", MS: 1.5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const golden = `{"job":3,"protocol":"mst","family":"torus","n":400,"seed":7,"reused":true,"rounds":123,"messages":4567,"output":"00000000deadbeef","ms":1.5}`
+	if string(line) != golden {
+		t.Errorf("JSONL encoding drifted:\n got: %s\nwant: %s", line, golden)
+	}
+	// err is omitempty: successful runs must not carry an empty err field.
+	withErr, err := json.Marshal(Result{Err: "budget"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const goldenErr = `{"job":0,"protocol":"","family":"","n":0,"seed":0,"reused":false,"rounds":0,"messages":0,"output":"","ms":0,"err":"budget"}`
+	if string(withErr) != goldenErr {
+		t.Errorf("JSONL error encoding drifted:\n got: %s\nwant: %s", withErr, goldenErr)
+	}
+}
+
+// drainSpec runs a spec and returns its results in queue order with the
+// wall-clock field zeroed — the deterministic projection two drains of the
+// same spec must agree on bit for bit.
+func drainSpec(t *testing.T, spec JobSpec) ([]Result, Summary) {
+	t.Helper()
+	var results []Result
+	sum, err := RunJobs(spec, func(r Result) { results = append(results, r) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.Runs != len(results) {
+		t.Fatalf("summary counts %d runs, emitted %d", sum.Runs, len(results))
+	}
+	sort.Slice(results, func(i, j int) bool { return results[i].Job < results[j].Job })
+	for i := range results {
+		results[i].MS = 0
+		if results[i].Err != "" {
+			t.Fatalf("job %d (%s/%s) failed: %s", results[i].Job, results[i].Protocol, results[i].Family, results[i].Err)
+		}
+	}
+	return results, sum
+}
+
+// smallSpec is the shared deterministic fixture: two topologies, two seeds,
+// a randomized protocol (domset — per-node PRNG streams) and a multi-phase
+// one (verify), so both PRNG reuse and cost accounting are exercised.
+func smallSpec() JobSpec {
+	return JobSpec{
+		Protocols: []string{"domset", "verify"},
+		Graphs:    []GraphSpec{{Family: "torus", N: 36}, {Family: "random", N: 48}},
+		Seeds:     []int64{1, 2},
+	}
+}
+
+// TestJobsDeterministicAcrossPoolAndCache is the serving-side bit-identity
+// proof: the same spec drained sequentially without reuse (pool=1,
+// cache disabled — every run on a fresh network), sequentially with full
+// reuse, and concurrently (pool=4) must produce identical Results — same
+// digests, same Rounds/Messages — differing only in the reused flag and
+// completion order.
+func TestJobsDeterministicAcrossPoolAndCache(t *testing.T) {
+	base := smallSpec()
+	base.PoolWorkers = 1
+	base.Cache = -1
+	fresh, _ := drainSpec(t, base)
+
+	reusing := smallSpec()
+	reusing.PoolWorkers = 1
+	warm, sum := drainSpec(t, reusing)
+	if sum.Reused == 0 {
+		t.Error("sequential drain with adjacent same-topology jobs reused no network")
+	}
+
+	wide := smallSpec()
+	wide.PoolWorkers = 4
+	concurrent, _ := drainSpec(t, wide)
+
+	for i := range fresh {
+		fresh[i].Reused = false
+		warm[i].Reused = false
+		concurrent[i].Reused = false
+	}
+	if !reflect.DeepEqual(fresh, warm) {
+		t.Errorf("reused-network drain diverged from fresh-network drain")
+	}
+	if !reflect.DeepEqual(fresh, concurrent) {
+		t.Errorf("pool=4 drain diverged from sequential drain")
+	}
+}
+
+// TestJobsCacheBound: a cache of capacity 1 across two alternating
+// topologies still completes with identical results — eviction never
+// affects correctness, only hit rate.
+func TestJobsCacheBound(t *testing.T) {
+	spec := smallSpec()
+	spec.PoolWorkers = 1
+	spec.Cache = 1
+	bounded, _ := drainSpec(t, spec)
+
+	ref := smallSpec()
+	ref.PoolWorkers = 1
+	ref.Cache = -1
+	fresh, _ := drainSpec(t, ref)
+	for i := range fresh {
+		fresh[i].Reused = false
+		bounded[i].Reused = false
+	}
+	if !reflect.DeepEqual(fresh, bounded) {
+		t.Error("cache-bounded drain diverged from fresh drain")
+	}
+}
+
+// TestJobsSharedPoolRace drives concurrent jobs on distinct networks over
+// the shared pool — under `go test -race` (and the CONGEST_WORKERS=4 CI
+// leg, where every job's network additionally runs the parallel engine,
+// nesting engine pools inside the serving pool) this is the standing data-
+// race check on the serving path.
+func TestJobsSharedPoolRace(t *testing.T) {
+	spec := JobSpec{
+		Protocols:   []string{"domset", "corefast-pa", "sssp"},
+		Graphs:      []GraphSpec{{Family: "torus", N: 36}, {Family: "grid", N: 49}, {Family: "ladder", N: 40}},
+		Seeds:       []int64{1, 2},
+		PoolWorkers: 4,
+	}
+	results, sum := drainSpec(t, spec)
+	if len(results) != 18 {
+		t.Fatalf("expected 18 runs, got %d", len(results))
+	}
+	if sum.RunsPerSec <= 0 {
+		t.Errorf("summary runs/sec = %v, want > 0", sum.RunsPerSec)
+	}
+}

@@ -126,6 +126,7 @@ type Network struct {
 	total    Metrics
 	phases   []Phase
 	workers  int
+	running  bool  // a phase is executing; guards Reset/SetWorkers mid-phase
 	clock    int64 // global round counter across phases; stamps never repeat
 	buf      *engineBuffers
 }
@@ -278,7 +279,21 @@ func (n *Network) Workers() int { return n.workers }
 // phase: k <= 1 selects the sequential engine, k > 1 shards each round
 // across k goroutines. The choice affects wall-clock time only — results,
 // metrics, and per-node PRNG streams are bit-identical either way.
-func (n *Network) SetWorkers(k int) { n.workers = k }
+//
+// Contract: k < 0 is clamped to 0 (sequential — 0 and 1 are equivalent, 0
+// being "unset"). The worker count is latched when a phase starts, so it can
+// never change mid-phase; calling SetWorkers while a phase is running (from
+// inside a Step) panics — that is a protocol bug, like sending twice on one
+// port, not a runtime condition.
+func (n *Network) SetWorkers(k int) {
+	if n.running {
+		panic("congest: SetWorkers called while a phase is running")
+	}
+	if k < 0 {
+		k = 0
+	}
+	n.workers = k
+}
 
 // Total returns the cost accumulated over all phases run so far.
 func (n *Network) Total() Metrics { return n.total }
@@ -291,10 +306,54 @@ func (n *Network) Phases() []Phase {
 }
 
 // ResetMetrics clears accumulated metrics (e.g. to exclude setup phases from
-// an experiment's accounting).
+// an experiment's accounting). The per-phase history is dropped by setting it
+// to nil, not truncated: a truncated slice would keep the old backing array —
+// and every per-run phase-name string in it — reachable across thousands of
+// served runs. Dropping the array bounds the history's footprint at one run.
 func (n *Network) ResetMetrics() {
 	n.total = Metrics{}
 	n.phases = nil
+}
+
+// Reset returns a constructed network to its as-new protocol-visible state,
+// so the next protocol run on it is bit-identical — same outputs, same
+// Rounds/Messages, same PRNG streams — to a run on a freshly built
+// NewNetwork(g, seed). This is the reuse contract behind multi-run serving
+// (internal/bench job runner): topology, IDs, slot geometry, and the
+// ~O(n+2m) engine buffers are all seed- or graph-determined and stay as
+// built, so Reset is O(n) and never reallocates.
+//
+// What Reset actually does:
+//
+//   - drops every per-node PRNG, so each stream restarts from its (seed, v)
+//     origin on next use. Without this a reused network draws from
+//     mid-stream state and randomized protocols silently diverge from the
+//     fresh-network execution;
+//   - clears the cost accounting (ResetMetrics): totals and the per-phase
+//     history, which would otherwise grow without bound across served runs;
+//   - leaves the global round clock alone. The clock only ever rolls
+//     forward, which is precisely what makes the delivery buffers reusable
+//     without clearing: stale slot and wake stamps are strictly older than
+//     any round the next phase can test for. Protocols never see the
+//     absolute clock (Ctx.Round is phase-relative), so a fresh network and
+//     a reset one are indistinguishable from inside a Step.
+//
+// The engine's per-node scheduling flags need no attention: a phase's first
+// round steps every node and rewrites active[], and the recv-view and wake
+// stamps are round-tagged, so a monotone clock makes stale entries inert
+// even after a phase aborted on BudgetExceededError.
+//
+// Reset must not be called while a phase is running (it panics), and it
+// does not change the SetWorkers setting: engine parallelism is the
+// caller's serving-side knob, not protocol-visible state.
+func (n *Network) Reset() {
+	if n.running {
+		panic("congest: Reset called while a phase is running")
+	}
+	for v := range n.rngs {
+		n.rngs[v] = nil
+	}
+	n.ResetMetrics()
 }
 
 // MergeCosts folds another accounting total into this network's, for
@@ -355,6 +414,11 @@ func (n *Network) RunNodesParallel(name string, p NodeProc, maxRounds int64, wor
 	if p == nil && n.N() > 0 {
 		return Metrics{}, fmt.Errorf("congest: phase %q has a nil NodeProc for %d nodes", name, n.N())
 	}
+	if n.running {
+		return Metrics{}, fmt.Errorf("congest: phase %q started while another phase is running on this network", name)
+	}
+	n.running = true
+	defer func() { n.running = false }()
 	st := newRunState(n, p, workers)
 	defer st.close()
 	// Advance the network clock past every stamp this phase can have

@@ -44,6 +44,16 @@
 // round clock starts above zero, so zero-valued stamps already read as
 // "never written" (see ARCHITECTURE.md "The construction pipeline").
 //
+// A constructed network is reusable across protocol runs: Network.Reset
+// returns it to its as-constructed protocol-visible state (per-node PRNG
+// streams restart from their seed origin, cost accounting clears, the
+// monotone round clock keeps rolling) so a reused run is bit-identical to
+// one on a freshly built network — the contract behind the multi-run
+// serving mode (internal/bench jobs), enforced by the equivalence
+// harness's reuse leg. RunPool exposes the engine's job-generic worker
+// pool for callers draining their own work queues. See README.md "Network
+// reuse: Reset and the serving contract".
+//
 // Cost accounting follows the paper's measures: Rounds is the number of
 // synchronous rounds executed until global quiescence (or the budget), and
 // Messages counts every send. Quiescence — no node active and no message in

@@ -113,6 +113,27 @@ func (p *pool) close() {
 	}
 }
 
+// RunPool runs fn(w) for w = 0..k-1 on the job-generic worker pool and
+// blocks until every worker returns. It is the exported face of the same
+// machinery the round waves and the parallel geometry fill run on, for
+// callers that want to drain their own work queue over pooled goroutines
+// (the internal/bench job runner shards a multi-run serving queue this
+// way). A panic inside any fn is re-raised on the caller's goroutine after
+// the barrier, exactly as a protocol panic inside a round wave would be.
+// k <= 1 calls fn(0) inline — no goroutines, same contract.
+func RunPool(k int, fn func(worker int)) {
+	if k <= 1 {
+		fn(0)
+		return
+	}
+	p := newPool(k)
+	defer p.close()
+	p.wave(func(i int) shardDone {
+		fn(i)
+		return shardDone{}
+	})
+}
+
 // shardBlock returns worker i's contiguous block [lo, hi) of k shards over
 // n items. Contiguity makes every per-node array (active, recvLen,
 // wakeNext, ...) write in disjoint cache-line ranges per worker, at the
