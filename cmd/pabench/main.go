@@ -29,8 +29,8 @@ func run(args []string, stdout io.Writer) error {
 		exp        = fs.String("exp", "", "comma-separated experiment IDs (default: all)")
 		seed       = fs.Int64("seed", 12345, "master seed")
 		workers    = fs.Int("workers", 1, "simulation engine workers (results are identical at any setting)")
-		sweep      = fs.Bool("sweep", false, "run the engine scale sweep (tori up to -sweep-max nodes) instead of the paper experiments")
-		sweepMax   = fs.Int("sweep-max", 1_000_000, "largest torus node count the scale sweep builds")
+		sweep      = fs.Bool("sweep", false, "run the engine scale sweep (torus/star/powerlaw up to -sweep-max nodes, with shard-balance columns) instead of the paper experiments")
+		sweepMax   = fs.Int("sweep-max", 1_000_000, "largest node count the scale sweep builds per family")
 		jobs       = fs.String("jobs", "", "serve a multi-run job spec (protocols x graphs x seeds) over one shared pool, streaming one JSON line per run; e.g. 'graphs=torus:400;protocols=mst,sssp;seeds=1-16'")
 		jobsPool   = fs.Int("jobs-pool", 0, "job-queue workers draining the -jobs spec (0 = GOMAXPROCS)")
 		jobsCache  = fs.Int("jobs-cache", 0, "warm-network LRU capacity for -jobs topology reuse (0 = default, negative disables reuse)")

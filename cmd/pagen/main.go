@@ -19,7 +19,7 @@ func main() {
 func run(args []string) error {
 	fs := flag.NewFlagSet("pagen", flag.ContinueOnError)
 	var (
-		family = fs.String("family", "grid", "grid|gridstar|random|path|cycle|torus|ladder|ktree|cbt|lollipop")
+		family = fs.String("family", "grid", "grid|gridstar|random|path|cycle|torus|ladder|ktree|cbt|lollipop|powerlaw|prefattach")
 		scale  = fs.Int("scale", 2, "instance scale factor")
 		seed   = fs.Int64("seed", 1, "seed")
 		edges  = fs.Bool("edges", false, "print the edge list")
@@ -51,6 +51,10 @@ func run(args []string) error {
 		g = graph.CompleteBinaryTree(3 + *scale)
 	case "lollipop":
 		g = graph.Lollipop(40**scale, 8**scale)
+	case "powerlaw":
+		g = graph.PowerLaw(60**scale, 4, 2.5, rng)
+	case "prefattach":
+		g = graph.PrefAttach(60**scale, 3, rng)
 	default:
 		return fmt.Errorf("unknown family %q", *family)
 	}

@@ -260,6 +260,21 @@ var jobFamilies = map[string]func(n int, seed int64) *graph.Graph{
 		rng := rand.New(rand.NewSource(seed))
 		return graph.RandomizeWeights(graph.RandomConnected(n, 3.0/float64(n), rng), 100, rng)
 	},
+	// The skewed families: hub nodes carrying a constant fraction of all
+	// edges, the regime the edge-balanced shard boundaries exist for.
+	"star": func(n int, _ int64) *graph.Graph {
+		return graph.Star(max(n, 2))
+	},
+	"powerlaw": func(n int, seed int64) *graph.Graph {
+		n = max(n, 8)
+		rng := rand.New(rand.NewSource(seed))
+		return graph.RandomizeWeights(graph.PowerLaw(n, 4, 2.5, rng), 100, rng)
+	},
+	"prefattach": func(n int, seed int64) *graph.Graph {
+		n = max(n, 8)
+		rng := rand.New(rand.NewSource(seed))
+		return graph.RandomizeWeights(graph.PrefAttach(n, 3, rng), 100, rng)
+	},
 }
 
 // squareSide rounds a target node count to the nearest square's side, >= 2.

@@ -2,6 +2,7 @@ package bench
 
 import (
 	"fmt"
+	"math/rand"
 	"runtime"
 	"time"
 
@@ -10,13 +11,14 @@ import (
 )
 
 // sweep.go is the engine scale sweep (cmd/pabench -sweep): tori from n=10^4
-// up to n=10^6, each running a fixed broadcast-aggregation storm through
-// the shared-proc phase driver. Unlike the paper experiments, this measures
+// up to n=10^6 plus the skewed families (star, power-law) at the same
+// scales, each running a fixed broadcast-aggregation storm through the
+// shared-proc phase driver. Unlike the paper experiments, this measures
 // the simulator itself — setup wall time, steady-state ns/round and
-// ns/message, and the resident heap — to locate the next engine bottleneck
-// as n grows (ROADMAP "Bigger instances"). The int32 CSR guard bounds how
-// far the sweep could ever be pushed (2m <= 2^31); at n=10^6 a torus uses
-// 4x10^6 of those half-edge slots.
+// ns/message, resident heap, and the shard-balance metric — to locate the
+// next engine bottleneck as n grows (ROADMAP "Many-core scale-out"). The
+// int32 CSR guard bounds how far the sweep could ever be pushed
+// (2m <= 2^31); at n=10^6 a torus uses 4x10^6 of those half-edge slots.
 
 // stormRounds is the number of broadcast rounds each sweep instance runs:
 // every node broadcasts its running min-ID each round, so messages per
@@ -24,48 +26,97 @@ import (
 // broadcast.
 const stormRounds = 10
 
-// ScaleSweep runs the sweep on square tori with n <= maxN and returns the
+// balanceWorkers is the worker count the sweep's shard-balance columns are
+// computed at. Fixed (rather than following -workers) so the imbalance
+// number in a BENCH snapshot is comparable across hosts and flag settings;
+// it matches the acceptance setting of the edge-balanced sharding work.
+const balanceWorkers = 4
+
+// sweepSizes are the target node counts each family is swept at.
+var sweepSizes = []int{10_000, 62_500, 250_000, 1_000_000}
+
+// sweepFamilies are the sweep's topology builders, uniform-degree first.
+// The torus ladder is the historical scaling series; star and power-law
+// are the skew series — the families where node-count sharding serializes
+// a worker on the hub and edge-balanced boundaries must not.
+var sweepFamilies = []struct {
+	name  string
+	build func(n int, seed int64) *graph.Graph
+}{
+	{"torus", func(n int, _ int64) *graph.Graph {
+		side := squareSide(n)
+		return graph.Torus(side, side)
+	}},
+	{"star", func(n int, _ int64) *graph.Graph {
+		return graph.Star(n)
+	}},
+	{"powerlaw", func(n int, seed int64) *graph.Graph {
+		return graph.PowerLaw(n, 4, 2.5, rand.New(rand.NewSource(seed)))
+	}},
+}
+
+// ScaleSweep runs the sweep on all families with n <= maxN and returns the
 // measurement table. Wall-clock numbers depend on the host; the sweep is a
 // diagnostic, not a regression gate (BENCH_<pr>.json plays that role).
 func ScaleSweep(seed int64, maxN int) (*Table, error) {
 	t := &Table{
-		ID:      "SWEEP",
-		Title:   fmt.Sprintf("engine scale sweep: torus broadcast storm, %d rounds, workers=%d", stormRounds, max(workers, 1)),
-		Headers: []string{"torus", "n", "2m", "build ms", "net ms", "warm ms", "storm ms", "ns/round", "ns/msg", "msgs", "heap MB"},
+		ID:    "SWEEP",
+		Title: fmt.Sprintf("engine scale sweep: broadcast storm, %d rounds, workers=%d", stormRounds, max(workers, 1)),
+		Headers: []string{"graph", "n", "2m", "build ms", "net ms", "warm ms", "storm ms",
+			"ns/round", "ns/msg", "msgs", "heap MB",
+			fmt.Sprintf("bal@%d", balanceWorkers), fmt.Sprintf("nodebal@%d", balanceWorkers)},
 		Notes: []string{
 			"setup is split by stage: build = graph construction, net = NewNetwork (IDs + slot geometry), warm = first-run engine-buffer allocation; storm: the timed phase only",
 			"heap: HeapAlloc after a forced GC with the network still live (graph + engine footprint)",
+			fmt.Sprintf("bal@%d: max/mean incident-edge mass per shard under the engine's edge-balanced boundaries at %d workers; nodebal@%d: the same ratio under the pre-PR-7 uniform node-count split — the skew a hub used to impose on one worker", balanceWorkers, balanceWorkers, balanceWorkers),
+			"a trailing ! on bal marks a shard pinned at the indivisible floor: one node heavier than a whole fair share (a star hub); no node-granular sharding can go lower",
 		},
 	}
-	for _, side := range []int{100, 250, 500, 1000} {
-		n := side * side
-		if n > maxN {
-			break
+	ran := 0
+	for _, fam := range sweepFamilies {
+		for _, n := range sweepSizes {
+			if n > maxN {
+				break
+			}
+			buildStart := time.Now()
+			g := fam.build(n, seed)
+			build := time.Since(buildStart)
+			row, err := sweepInstance(seed, fam.name, g, build)
+			if err != nil {
+				return nil, fmt.Errorf("sweep %s n=%d: %w", fam.name, n, err)
+			}
+			t.Rows = append(t.Rows, row)
+			ran++
 		}
-		row, err := sweepInstance(seed, side)
-		if err != nil {
-			return nil, fmt.Errorf("sweep side %d: %w", side, err)
-		}
-		t.Rows = append(t.Rows, row)
 	}
-	if len(t.Rows) == 0 {
+	if ran == 0 {
 		return nil, fmt.Errorf("sweep: maxN %d below the smallest instance (10000)", maxN)
 	}
 	return t, nil
 }
 
-// sweepInstance builds one torus network and times the storm phase on it.
-// The three construction stages are timed separately so a setup regression
-// is attributable: graph build (generator + CSR), NewNetwork (IDs + slot
-// geometry), and the first-run engine-buffer warmup.
-func sweepInstance(seed int64, side int) ([]string, error) {
-	buildStart := time.Now()
-	g := graph.Torus(side, side)
-	build := time.Since(buildStart)
+// balanceCell formats a ShardMass as "1.02x", flagging a max shard pinned
+// at the indivisible single-node floor with a trailing '!'.
+func balanceCell(s congest.ShardMass) string {
+	cell := fmt.Sprintf("%.2fx", s.Ratio())
+	if s.Max == s.MaxNode && float64(s.Max) > 1.25*s.Mean {
+		cell += "!"
+	}
+	return cell
+}
 
+// sweepInstance builds one network and times the storm phase on it. The
+// three construction stages are timed separately so a setup regression is
+// attributable: graph build (generator + CSR), NewNetwork (IDs + slot
+// geometry), and the first-run engine-buffer warmup.
+func sweepInstance(seed int64, label string, g *graph.Graph, build time.Duration) ([]string, error) {
 	netStart := time.Now()
 	net := newNetwork(g, seed)
 	netElapsed := time.Since(netStart)
+
+	rs := g.CSR().RowStart
+	balanced := congest.MeasureShards(rs, congest.EdgeBalancedBounds(rs, balanceWorkers, 0))
+	uniform := congest.MeasureShards(rs, congest.NodeRangeBounds(g.N(), balanceWorkers))
 
 	warmStart := time.Now()
 	n := g.N()
@@ -109,12 +160,13 @@ func sweepInstance(seed int64, side int) ([]string, error) {
 	nsPerRound := float64(elapsed.Nanoseconds()) / float64(max(cost.Rounds, 1))
 	nsPerMsg := float64(elapsed.Nanoseconds()) / float64(max(cost.Messages, 1))
 	return []string{
-		fmt.Sprintf("%dx%d", side, side),
+		label,
 		itoaInt(n), itoaInt(2 * g.M()),
 		itoa(build.Milliseconds()), itoa(netElapsed.Milliseconds()), itoa(warm.Milliseconds()),
 		itoa(elapsed.Milliseconds()),
 		fmt.Sprintf("%.0f", nsPerRound), fmt.Sprintf("%.1f", nsPerMsg),
 		itoa(cost.Messages),
 		fmt.Sprintf("%.0f", float64(ms.HeapAlloc)/(1<<20)),
+		balanceCell(balanced), balanceCell(uniform),
 	}, nil
 }

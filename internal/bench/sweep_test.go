@@ -1,42 +1,84 @@
 package bench
 
 import (
+	"strconv"
 	"strings"
 	"testing"
 )
 
+// col returns the index of a named sweep header, fatally if absent.
+func col(t *testing.T, headers []string, name string) int {
+	t.Helper()
+	for i, h := range headers {
+		if h == name {
+			return i
+		}
+	}
+	t.Fatalf("headers %v lack a %q column", headers, name)
+	return -1
+}
+
 // TestScaleSweepSmallest runs the sweep capped at its smallest instance
-// (n=10^4) so the measurement path stays exercised by the fast suite; the
-// full n=10^6 march is interactive (cmd/pabench -sweep).
+// (n=10^4 per family) so the measurement path stays exercised by the fast
+// suite; the full n=10^6 march is interactive (cmd/pabench -sweep).
 func TestScaleSweepSmallest(t *testing.T) {
 	tab, err := ScaleSweep(7, 10_000)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(tab.Rows) != 1 {
-		t.Fatalf("got %d rows, want 1 (the 100x100 torus)", len(tab.Rows))
+	if len(tab.Rows) != len(sweepFamilies) {
+		t.Fatalf("got %d rows, want one per family (%d)", len(tab.Rows), len(sweepFamilies))
 	}
-	row := tab.Rows[0]
-	if len(row) != len(tab.Headers) {
-		t.Fatalf("row width %d != header width %d", len(row), len(tab.Headers))
+	rows := map[string][]string{}
+	for _, row := range tab.Rows {
+		if len(row) != len(tab.Headers) {
+			t.Fatalf("row width %d != header width %d: %v", len(row), len(tab.Headers), row)
+		}
+		rows[row[0]] = row
 	}
-	if row[0] != "100x100" || row[1] != "10000" {
-		t.Fatalf("unexpected instance row: %v", row)
+	msgsCol := col(t, tab.Headers, "msgs")
+	balCol := col(t, tab.Headers, "bal@4")
+	nodebalCol := col(t, tab.Headers, "nodebal@4")
+
+	torus := rows["torus"]
+	if torus == nil || torus[1] != "10000" {
+		t.Fatalf("missing or wrong torus row: %v", torus)
 	}
 	// The storm is exactly stormRounds broadcasts over 2m half-edges:
 	// a 100x100 torus has m = 2n = 20000 edges, so 10 * 40000 messages.
-	wantMsgs := "400000"
-	msgsCol := -1
-	for i, h := range tab.Headers {
-		if h == "msgs" {
-			msgsCol = i
-		}
+	if torus[msgsCol] != "400000" {
+		t.Fatalf("torus storm messages %s, want 400000", torus[msgsCol])
 	}
-	if msgsCol < 0 {
-		t.Fatalf("headers %v lack a msgs column", tab.Headers)
+	// Uniform degree: both sharding schemes are near-perfect.
+	if torus[balCol] != "1.00x" || torus[nodebalCol] != "1.00x" {
+		t.Fatalf("torus balance columns %s/%s, want 1.00x/1.00x", torus[balCol], torus[nodebalCol])
 	}
-	if row[msgsCol] != wantMsgs {
-		t.Fatalf("storm messages %s, want %s", row[msgsCol], wantMsgs)
+
+	star := rows["star"]
+	if star == nil {
+		t.Fatal("missing star row")
+	}
+	// The hub is an indivisible half of all edge mass: the edge-balanced
+	// column sits at the single-node floor (flagged '!'), while the legacy
+	// node-count split concentrates hub + a quarter of the leaves on one
+	// worker and reads worse.
+	if !strings.HasSuffix(star[balCol], "!") {
+		t.Fatalf("star bal %s lacks the indivisible-floor flag", star[balCol])
+	}
+	balRatio, err := strconv.ParseFloat(strings.TrimSuffix(strings.TrimSuffix(star[balCol], "!"), "x"), 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nodeRatio, err := strconv.ParseFloat(strings.TrimSuffix(strings.TrimSuffix(star[nodebalCol], "!"), "x"), 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if balRatio >= nodeRatio {
+		t.Fatalf("star: edge-balanced ratio %.2f not better than node-range %.2f", balRatio, nodeRatio)
+	}
+
+	if rows["powerlaw"] == nil {
+		t.Fatal("missing powerlaw row")
 	}
 	if !strings.Contains(tab.Format(), "SWEEP") {
 		t.Fatal("formatted table lacks the SWEEP id")

@@ -126,8 +126,9 @@ type Network struct {
 	total    Metrics
 	phases   []Phase
 	workers  int
-	running  bool  // a phase is executing; guards Reset/SetWorkers mid-phase
-	clock    int64 // global round counter across phases; stamps never repeat
+	plan     *shardPlan // cached edge-balanced shard boundaries (shard.go); nil until first parallel wave, dropped by SetWorkers/Reset
+	running  bool       // a phase is executing; guards Reset/SetWorkers mid-phase
+	clock    int64      // global round counter across phases; stamps never repeat
 	buf      *engineBuffers
 }
 
@@ -292,6 +293,13 @@ func (n *Network) SetWorkers(k int) {
 	if k < 0 {
 		k = 0
 	}
+	if k != n.workers {
+		// The cached shard boundaries are per worker count; drop them so
+		// the next parallel phase recomputes for the new k. (shardPlan also
+		// rejects a stale count by key, so this is for memory hygiene as
+		// much as correctness: no boundary array outlives its setting.)
+		n.plan = nil
+	}
 	n.workers = k
 }
 
@@ -353,6 +361,10 @@ func (n *Network) Reset() {
 	for v := range n.rngs {
 		n.rngs[v] = nil
 	}
+	// Shard boundaries are topology-determined, so a cached plan would stay
+	// valid across Reset — but as-new means as-new: a reset network holds no
+	// derived scheduling state, and recomputing is O(workers log n).
+	n.plan = nil
 	n.ResetMetrics()
 }
 
@@ -521,10 +533,12 @@ type runState struct {
 	started     bool
 	inFlight    int64
 	activeCount int64 // nodes whose last Step returned active (summed per shard)
-	workers     int   // goroutines stepping nodes; <= 1 means sequential
-	pool        *pool // persistent worker pool; nil until first parallel step
-	stepJob     job   // hoisted step-wave closure (no per-round allocation)
-	scanJob     job   // hoisted wake-scan-wave closure
+	workers     int     // goroutines stepping nodes; <= 1 means sequential
+	pool        *pool   // persistent worker pool; nil until first parallel step
+	stepJob     job     // hoisted step-wave closure (no per-round allocation)
+	scanJob     job     // hoisted wake-scan-wave closure
+	stepBounds  []int32 // sender-weighted edge-balanced shard boundaries (shard.go)
+	slotBounds  []int32 // receiver-slot-weighted boundaries for the wake scan
 	*engineBuffers
 }
 

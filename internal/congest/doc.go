@@ -12,11 +12,14 @@
 // seeded from a master seed, and nodes are stepped in index order (node
 // state is strictly local, so order cannot affect outcomes). Because step
 // order cannot affect outcomes, rounds may also be executed by a worker
-// pool (SetWorkers / RunParallel): each worker steps a disjoint shard of
-// nodes, and the edge-slot delivery buffers make the two engines write the
-// exact same memory either way. Parallel runs are bit-identical to
-// sequential runs — same results, same Rounds/Messages, same per-node PRNG
-// streams. See README.md.
+// pool (SetWorkers / RunParallel): each worker steps a disjoint contiguous
+// shard of nodes, and the edge-slot delivery buffers make the two engines
+// write the exact same memory either way. Shard boundaries are skew-aware
+// (shard.go): they follow the CSR row offsets so shards hold roughly equal
+// incident-edge mass rather than equal node counts — on hub-heavy graphs
+// (stars, power laws) equal counts would serialize one worker on the hub.
+// Parallel runs are bit-identical to sequential runs — same results, same
+// Rounds/Messages, same per-node PRNG streams. See README.md.
 //
 // Message delivery uses flat edge-slot buffers over the graph's CSR layout
 // (README.md "Memory layout"): the model allows at most one message per

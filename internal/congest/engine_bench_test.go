@@ -30,6 +30,9 @@ func benchFamilies() []struct {
 		{"star", graph.Star(10000)},
 		// Irregular sparse degrees, avg ~3.
 		{"random", graph.RandomConnected(10000, 3.0/10000.0, rand.New(rand.NewSource(1)))},
+		// Heavy-tailed degrees (alpha=2.5): many small hubs rather than one
+		// giant one — the regime edge-balanced shard boundaries target.
+		{"powerlaw", graph.PowerLaw(10000, 4, 2.5, rand.New(rand.NewSource(7)))},
 	}
 }
 
@@ -61,6 +64,13 @@ func BenchmarkEngine(b *testing.B) {
 				}
 				b.StopTimer()
 				b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N*rounds), "ns/round")
+				if workers > 1 {
+					// Shard imbalance under the step-wave boundaries this run
+					// actually used: max/mean incident-edge mass per worker.
+					rs := fam.g.CSR().RowStart
+					bal := MeasureShards(rs, EdgeBalancedBounds(rs, workers, 1))
+					b.ReportMetric(bal.Ratio(), "shard-max/mean")
+				}
 			})
 		}
 	}

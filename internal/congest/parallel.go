@@ -134,11 +134,20 @@ func RunPool(k int, fn func(worker int)) {
 	})
 }
 
-// shardBlock returns worker i's contiguous block [lo, hi) of k shards over
-// n items. Contiguity makes every per-node array (active, recvLen,
-// wakeNext, ...) write in disjoint cache-line ranges per worker, at the
-// price of possible imbalance when active nodes cluster — acceptable
-// because the engine targets rounds where most nodes do work.
+// shardBlock returns worker i's contiguous block [lo, hi) of a uniform
+// node-count split of n items into k shards. The split is floor division
+// (lo = i*n/k), so blocks are contiguous, cover [0, n) exactly, and their
+// sizes differ by at most one node — the remainder n mod k is spread one
+// node apiece over the blocks, not piled on the last; with k > n exactly
+// n blocks hold one node and the rest are empty, and n = 0 yields k empty
+// blocks (shard_test.go pins this contract). Contiguity makes every
+// per-node array (active, recvLen, wakeNext, ...) write in disjoint
+// cache-line ranges per worker.
+//
+// The engine's waves no longer shard on this uniform split — equal node
+// counts serialize a worker on any hub-heavy family — but it remains the
+// baseline the shard-balance metric compares against (NodeRangeBounds)
+// and the item split for weightless work.
 func shardBlock(i, k, n int) (lo, hi int) {
 	return i * n / k, (i + 1) * n / k
 }
@@ -148,6 +157,10 @@ func (st *runState) ensurePool() {
 		return
 	}
 	st.pool = newPool(st.workers)
+	// Edge-balanced shard boundaries, one binary-search pass per phase at
+	// most (the network caches the plan per worker count; see shard.go).
+	plan := st.net.shardPlan(st.workers)
+	st.stepBounds, st.slotBounds = plan.step, plan.slot
 	// The two round waves are hoisted closures: allocating them per round
 	// would put the coordinator back on the per-round allocation budget the
 	// flat engine is designed to keep at zero.
@@ -168,15 +181,12 @@ func (st *runState) close() {
 	st.pool = nil
 }
 
-// shardRange returns worker i's contiguous node block [lo, hi).
-func (st *runState) shardRange(i int) (lo, hi int) {
-	return shardBlock(i, st.workers, st.net.N())
-}
-
 // stepShard steps worker i's nodes and reports its message and active
-// counts.
+// counts. Its block comes from the sender-weighted edge-balanced
+// boundaries (mass = 1 + deg), so a hub's send work does not serialize a
+// worker that also owns an equal count of other nodes.
 func (st *runState) stepShard(i int) (res shardDone) {
-	lo, hi := st.shardRange(i)
+	lo, hi := int(st.stepBounds[i]), int(st.stepBounds[i+1])
 	var sent int64
 	ctx := Ctx{st: st, sent: &sent}
 	res.active = st.stepRange(&ctx, lo, hi)
@@ -190,8 +200,10 @@ func (st *runState) stepShard(i int) (res shardDone) {
 // wakeNext writes are disjoint across workers; the stamps read were written
 // by all workers during the step phase, ordered by the coordinator's
 // barrier in between.
+// Receiver-slot-weighted boundaries: the scan's cost is the slots walked,
+// so blocks hold equal slot mass, not equal node counts.
 func (st *runState) scanShard(i int) {
-	lo, hi := st.shardRange(i)
+	lo, hi := int(st.slotBounds[i]), int(st.slotBounds[i+1])
 	rs := st.net.csr.RowStart
 	round := st.round
 	for v := lo; v < hi; v++ {
@@ -252,22 +264,31 @@ const minParallelFillNodes = 1 << 14
 // global ascending-sender rank. Writes are disjoint (destSlot by sender
 // half-edge, portSlot by the receiver half-edge paired to it — a
 // bijection), and the wave barriers order count → prefix → place.
+//
+// All three waves shard on the receiver-slot-weighted edge-balanced
+// boundaries (shard.go): every wave's cost is the half-edges it touches,
+// so the same hub that would serialize a step worker would serialize the
+// fill's count and place waves under a uniform node split. The slot-value
+// argument above needs only contiguous ascending sender blocks, which any
+// boundary array provides; the prefix wave may use any receiver partition
+// and reuses the same one.
 func (n *Network) fillGeometryParallel(workers int) {
 	nodes := n.N()
 	rs := n.csr.RowStart
+	bounds := n.shardPlan(workers).slot
 	cnt := make([]int32, workers*nodes) // cnt[w*nodes+v]
 	p := newPool(workers)
 	defer p.close()
 	p.wave(func(w int) shardDone {
 		row := cnt[w*nodes : (w+1)*nodes]
-		lo, hi := shardBlock(w, workers, nodes)
+		lo, hi := int(bounds[w]), int(bounds[w+1])
 		for h := rs[lo]; h < rs[hi]; h++ {
 			row[n.csr.PortTo[h]]++
 		}
 		return shardDone{}
 	})
 	p.wave(func(w int) shardDone {
-		lo, hi := shardBlock(w, workers, nodes)
+		lo, hi := int(bounds[w]), int(bounds[w+1])
 		for v := lo; v < hi; v++ {
 			var off int32
 			for w2 := 0; w2 < workers; w2++ {
@@ -280,7 +301,7 @@ func (n *Network) fillGeometryParallel(workers int) {
 	})
 	p.wave(func(w int) shardDone {
 		row := cnt[w*nodes : (w+1)*nodes]
-		lo, hi := shardBlock(w, workers, nodes)
+		lo, hi := int(bounds[w]), int(bounds[w+1])
 		for u := lo; u < hi; u++ {
 			for h := rs[u]; h < rs[u+1]; h++ {
 				v := n.csr.PortTo[h]

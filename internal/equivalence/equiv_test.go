@@ -67,6 +67,53 @@ func weightedSmall(seed int64) *graph.Graph {
 	return graph.RandomizeWeights(graph.RandomConnected(48, 3.0/48.0, rng), 100, rng)
 }
 
+// powerlaw is the skewed fixture: heavy-tailed degrees (hubs), the regime
+// the edge-balanced shard boundaries exist for. Equivalence on it proves
+// skew-aware sharding preserves bit-identity where the shards are most
+// lopsided.
+func powerlaw(seed int64) *graph.Graph {
+	rng := rand.New(rand.NewSource(seed))
+	return graph.RandomizeWeights(graph.PowerLaw(96, 4, 2.5, rng), 100, rng)
+}
+
+// The runners shared between the uniform and power-law table entries.
+
+func runCorefastPA(net *congest.Network) (string, error) {
+	e, in, err := paFixture(net, core.Randomized)
+	if err != nil {
+		return "", err
+	}
+	res, err := e.Solve(in, idVals(net), congest.MinPair)
+	if err != nil {
+		return "", err
+	}
+	return fmt.Sprintf("%v", res.Values), nil
+}
+
+func runMST(net *congest.Network) (string, error) {
+	e, err := core.NewEngine(net, core.Randomized)
+	if err != nil {
+		return "", err
+	}
+	res, err := mst.Run(e, mst.Options{})
+	if err != nil {
+		return "", err
+	}
+	return fmt.Sprintf("%v w=%d phases=%d", res.InMST, res.Weight, res.Phases), nil
+}
+
+func runDomset(net *congest.Network) (string, error) {
+	e, err := core.NewEngine(net, core.Randomized)
+	if err != nil {
+		return "", err
+	}
+	res, err := domset.KDominatingSet(e, 3)
+	if err != nil {
+		return "", err
+	}
+	return fmt.Sprintf("%v size=%d", res.IsCenter, res.Size), nil
+}
+
 func protocols() []protocol {
 	return []protocol{
 		{
@@ -74,17 +121,7 @@ func protocols() []protocol {
 			// (Algorithm 4 / Theorem 1.2, randomized variant).
 			name:  "corefast-pa",
 			graph: grid,
-			run: func(net *congest.Network) (string, error) {
-				e, in, err := paFixture(net, core.Randomized)
-				if err != nil {
-					return "", err
-				}
-				res, err := e.Solve(in, idVals(net), congest.MinPair)
-				if err != nil {
-					return "", err
-				}
-				return fmt.Sprintf("%v", res.Values), nil
-			},
+			run:   runCorefastPA,
 		},
 		{
 			// Deterministic heavy-path shortcut construction + PA solve
@@ -128,17 +165,7 @@ func protocols() []protocol {
 			// Borůvka-over-PA MST (Corollary 1.3).
 			name:  "mst",
 			graph: weighted,
-			run: func(net *congest.Network) (string, error) {
-				e, err := core.NewEngine(net, core.Randomized)
-				if err != nil {
-					return "", err
-				}
-				res, err := mst.Run(e, mst.Options{})
-				if err != nil {
-					return "", err
-				}
-				return fmt.Sprintf("%v w=%d phases=%d", res.InMST, res.Weight, res.Phases), nil
-			},
+			run:   runMST,
 		},
 		{
 			// Approximate SSSP over contracted light partitions
@@ -209,17 +236,26 @@ func protocols() []protocol {
 			// PRNG streams directly, so any stream divergence fails here.
 			name:  "domset",
 			graph: torus,
-			run: func(net *congest.Network) (string, error) {
-				e, err := core.NewEngine(net, core.Randomized)
-				if err != nil {
-					return "", err
-				}
-				res, err := domset.KDominatingSet(e, 3)
-				if err != nil {
-					return "", err
-				}
-				return fmt.Sprintf("%v size=%d", res.IsCenter, res.Size), nil
-			},
+			run:   runDomset,
+		},
+		// The power-law legs: same protocols, hub-heavy topology. These are
+		// the instances where the step/scan shard boundaries are maximally
+		// uneven in node count, so a sharding bug that respects uniform
+		// families shows up here.
+		{
+			name:  "corefast-pa-powerlaw",
+			graph: powerlaw,
+			run:   runCorefastPA,
+		},
+		{
+			name:  "mst-powerlaw",
+			graph: powerlaw,
+			run:   runMST,
+		},
+		{
+			name:  "domset-powerlaw",
+			graph: powerlaw,
+			run:   runDomset,
 		},
 	}
 }
@@ -248,10 +284,11 @@ func execute(p protocol, seed int64, workers int) (*execution, error) {
 // TestParallelEngineMatchesSequential is the cross-engine equivalence
 // harness: every protocol above, under every seed, must produce the exact
 // same output, total cost, and per-phase cost log on the parallel engine
-// (workers 2, 4, and 7) as on the sequential engine.
+// (workers 2, 4, and 8 — the acceptance settings of the edge-balanced
+// sharding work) as on the sequential engine.
 func TestParallelEngineMatchesSequential(t *testing.T) {
 	seeds := []int64{1, 2, 3}
-	workerCounts := []int{2, 4, 7}
+	workerCounts := []int{2, 4, 8}
 	if testing.Short() {
 		// Keep the full seed × protocol coverage but one parallel
 		// configuration, halving the matrix for the per-push CI gate; the

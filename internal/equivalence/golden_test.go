@@ -23,6 +23,9 @@ var goldenCosts = []struct {
 	{name: "mincut", rounds: 15358, messages: 70173},
 	{name: "verify", rounds: 4599, messages: 16455},
 	{name: "domset", rounds: 32, messages: 894},
+	{name: "corefast-pa-powerlaw", rounds: 341, messages: 6342},
+	{name: "mst-powerlaw", rounds: 4748, messages: 47509},
+	{name: "domset-powerlaw", rounds: 24, messages: 3094},
 }
 
 // TestGoldenCostAccounting is the seeded determinism regression: fixed

@@ -22,4 +22,12 @@
 // the filled CSR, and Finish adopts the streamed edge list without copying.
 // Every generator streams into a Builder sized to its exact edge count;
 // New/MustNew remain as thin adapters for callers holding an edge slice.
+//
+// The generators span both degree regimes the engine is measured on:
+// uniform families (Path, Cycle, Grid, Torus, RandomConnected) and skewed
+// ones, where few nodes carry a constant fraction of all edges (Star,
+// GridStar, and the heavy-tailed PowerLaw and PrefAttach in powerlaw.go).
+// External graphs load through LoadEdgeList (load.go), which accepts
+// SNAP-style and DIMACS-style edge lists, remaps sparse IDs densely, and
+// streams through the same Builder path as the generators.
 package graph

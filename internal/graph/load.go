@@ -1,0 +1,144 @@
+package graph
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// load.go brings real-world inputs into the pipeline: SNAP- and
+// DIMACS-style edge lists, normalized into the same Builder stream the
+// synthetic generators use, so skew claims (and every protocol) extend
+// beyond generated families.
+
+// LoadEdgeList parses an undirected edge list in the two formats real
+// benchmark graphs ship in and returns the graph plus the original node
+// IDs (ids[v] is the external ID the input used for dense node v).
+//
+// Accepted lines:
+//
+//	# ...  or  % ...      comment (SNAP / Matrix Market headers)
+//	c ...                 comment (DIMACS)
+//	p <name> <n> <m>      DIMACS problem line (sizes are advisory; ignored)
+//	e <u> <v> [w]         DIMACS edge
+//	<u> <v> [w]           SNAP edge (whitespace-separated integers)
+//
+// Real files are messy, so normalization is part of the contract rather
+// than an error: node IDs may be arbitrary non-negative 64-bit integers
+// (remapped to dense [0, n) in ascending ID order — deterministic for a
+// given input, independent of edge order), self-loops are dropped, and
+// duplicate unordered pairs — including the "both directions listed" form
+// every directed SNAP export has — collapse to the first occurrence, whose
+// weight wins. An absent weight field is weight 1; a present one must be
+// a positive integer.
+//
+// The collected pairs are sorted and deduplicated (O(m log m)), then
+// streamed through Builder like every generator, so the result passes the
+// same validation and gets the same CSR layout.
+func LoadEdgeList(r io.Reader) (*Graph, []int64, error) {
+	type rawEdge struct {
+		u, v int64 // canonicalized u < v
+		w    Weight
+		pos  int // input order; first occurrence of a pair wins
+	}
+	var raw []rawEdge
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 64*1024), 1<<20)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || line[0] == '#' || line[0] == '%' {
+			continue
+		}
+		fields := strings.Fields(line)
+		switch fields[0] {
+		case "c", "p":
+			continue
+		case "e", "a":
+			fields = fields[1:]
+		}
+		if len(fields) < 2 || len(fields) > 3 {
+			return nil, nil, fmt.Errorf("graph: edge list line %d: want 'u v [w]', got %q", lineNo, line)
+		}
+		u, err := strconv.ParseInt(fields[0], 10, 64)
+		if err != nil {
+			return nil, nil, fmt.Errorf("graph: edge list line %d: bad node %q", lineNo, fields[0])
+		}
+		v, err := strconv.ParseInt(fields[1], 10, 64)
+		if err != nil {
+			return nil, nil, fmt.Errorf("graph: edge list line %d: bad node %q", lineNo, fields[1])
+		}
+		if u < 0 || v < 0 {
+			return nil, nil, fmt.Errorf("graph: edge list line %d: negative node ID", lineNo)
+		}
+		w := defaultWeight
+		if len(fields) == 3 {
+			wv, err := strconv.ParseInt(fields[2], 10, 64)
+			if err != nil || wv <= 0 {
+				return nil, nil, fmt.Errorf("graph: edge list line %d: bad weight %q", lineNo, fields[2])
+			}
+			w = Weight(wv)
+		}
+		if u == v {
+			continue // self-loops carry no CONGEST meaning; drop
+		}
+		if u > v {
+			u, v = v, u
+		}
+		raw = append(raw, rawEdge{u: u, v: v, w: w, pos: len(raw)})
+	}
+	if err := sc.Err(); err != nil {
+		return nil, nil, fmt.Errorf("graph: edge list: %w", err)
+	}
+
+	// Dense ID index: every endpoint, sorted ascending, deduplicated.
+	ids := make([]int64, 0, 2*len(raw))
+	for _, e := range raw {
+		ids = append(ids, e.u, e.v)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	ids = compactInt64(ids)
+	rank := func(id int64) int {
+		return sort.Search(len(ids), func(i int) bool { return ids[i] >= id })
+	}
+
+	// Sort pairs (input position breaking ties) so duplicates are adjacent
+	// and the survivor is the earliest occurrence.
+	sort.Slice(raw, func(i, j int) bool {
+		a, b := raw[i], raw[j]
+		if a.u != b.u {
+			return a.u < b.u
+		}
+		if a.v != b.v {
+			return a.v < b.v
+		}
+		return a.pos < b.pos
+	})
+	b := NewBuilder(len(ids), len(raw))
+	for i, e := range raw {
+		if i > 0 && e.u == raw[i-1].u && e.v == raw[i-1].v {
+			continue
+		}
+		b.AddEdge(rank(e.u), rank(e.v), e.w)
+	}
+	g, err := b.Finish()
+	if err != nil {
+		return nil, nil, err
+	}
+	return g, ids, nil
+}
+
+// compactInt64 removes adjacent duplicates from a sorted slice in place.
+func compactInt64(s []int64) []int64 {
+	out := s[:0]
+	for i, v := range s {
+		if i == 0 || v != s[i-1] {
+			out = append(out, v)
+		}
+	}
+	return out
+}

@@ -1,0 +1,141 @@
+package graph
+
+import (
+	"fmt"
+	"math/rand"
+	"os"
+	"sort"
+	"strings"
+	"testing"
+)
+
+func TestLoadEdgeListSNAPFixture(t *testing.T) {
+	f, err := os.Open("testdata/snap_tiny.txt")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	g, ids, err := LoadEdgeList(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// External IDs 5,10,20,30,40,50 remap to 0..5 in ascending order.
+	wantIDs := []int64{5, 10, 20, 30, 40, 50}
+	if fmt.Sprint(ids) != fmt.Sprint(wantIDs) {
+		t.Fatalf("ids = %v, want %v", ids, wantIDs)
+	}
+	if g.N() != 6 {
+		t.Fatalf("n = %d, want 6", g.N())
+	}
+	// 7 distinct undirected pairs survive the both-direction duplicates,
+	// the repeated 5-10 line, and the 40-40 self-loop.
+	if g.M() != 7 {
+		t.Fatalf("m = %d, want 7", g.M())
+	}
+	// Node 10 (dense index 1) is the hub: neighbors 5, 20, 30, 40, 50.
+	if d := g.Degree(1); d != 5 {
+		t.Fatalf("hub degree = %d, want 5", d)
+	}
+	for _, e := range g.Edges() {
+		if e.W != 1 {
+			t.Fatalf("SNAP edge (%d,%d) has weight %d, want default 1", e.U, e.V, e.W)
+		}
+	}
+}
+
+func TestLoadEdgeListDIMACSFixture(t *testing.T) {
+	f, err := os.Open("testdata/dimacs_tiny.gr")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	g, ids, err := LoadEdgeList(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.N() != 5 || g.M() != 6 {
+		t.Fatalf("got n=%d m=%d, want 5/6", g.N(), g.M())
+	}
+	if ids[0] != 1 || ids[4] != 5 {
+		t.Fatalf("ids = %v, want 1..5", ids)
+	}
+	// Weights survive: total = 3+1+4+1+5+9.
+	if w := g.TotalWeight(); w != 23 {
+		t.Fatalf("total weight = %d, want 23", w)
+	}
+}
+
+// TestLoadEdgeListRoundTrip serializes a generated graph the way pagen
+// -edges prints it (u v w per line, already-dense IDs) and reloads it: the
+// loaded graph must match node for node and edge for edge.
+func TestLoadEdgeListRoundTrip(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		g    *Graph
+	}{
+		{"gridstar", GridStar(4, 9)},
+		{"powerlaw", RandomizeWeights(PowerLaw(150, 4, 2.5, rand.New(rand.NewSource(3))), 50, rand.New(rand.NewSource(4)))},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			var sb strings.Builder
+			sb.WriteString("# round-trip\n")
+			tc.g.ForEdges(func(_ int, e Edge) bool {
+				fmt.Fprintf(&sb, "%d %d %d\n", e.U, e.V, e.W)
+				return true
+			})
+			got, ids, err := LoadEdgeList(strings.NewReader(sb.String()))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got.N() != tc.g.N() || got.M() != tc.g.M() {
+				t.Fatalf("round-trip n=%d m=%d, want n=%d m=%d", got.N(), got.M(), tc.g.N(), tc.g.M())
+			}
+			for v, id := range ids {
+				if int64(v) != id {
+					t.Fatalf("dense input remapped: ids[%d] = %d", v, id)
+				}
+			}
+			want := sortedEdgeSet(tc.g)
+			if have := sortedEdgeSet(got); have != want {
+				t.Fatalf("edge sets differ after round-trip")
+			}
+		})
+	}
+}
+
+func sortedEdgeSet(g *Graph) string {
+	lines := make([]string, 0, g.M())
+	g.ForEdges(func(_ int, e Edge) bool {
+		u, v := e.U, e.V
+		if u > v {
+			u, v = v, u
+		}
+		lines = append(lines, fmt.Sprintf("%d-%d:%d", u, v, e.W))
+		return true
+	})
+	sort.Strings(lines)
+	return strings.Join(lines, ";")
+}
+
+func TestLoadEdgeListErrors(t *testing.T) {
+	for _, tc := range []struct {
+		name, in string
+	}{
+		{"malformed", "1 2\nnonsense line here extra\n"},
+		{"one-field", "1\n"},
+		{"bad-weight", "1 2 0\n"},
+		{"negative-id", "-1 2\n"},
+		{"float-weight", "1 2 0.5\n"},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			if _, _, err := LoadEdgeList(strings.NewReader(tc.in)); err == nil {
+				t.Error("expected error")
+			}
+		})
+	}
+	// Empty input is a valid empty graph, not an error.
+	g, ids, err := LoadEdgeList(strings.NewReader("# nothing\n"))
+	if err != nil || g.N() != 0 || len(ids) != 0 {
+		t.Errorf("empty input: g.N()=%d ids=%v err=%v", g.N(), ids, err)
+	}
+}

@@ -1,0 +1,133 @@
+package graph
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// powerlaw.go holds the skewed-degree generators: the families whose hub
+// nodes defeat uniform node-count sharding and that the shortcut
+// framework's target instances (social and web graphs) actually look
+// like. Both stream through Builder like every other generator, are
+// deterministic per rng stream, and produce connected simple graphs.
+
+// PowerLaw returns a connected Chung–Lu random graph on n nodes whose
+// expected degree sequence follows a power law with exponent alpha > 2:
+// node v has expected degree proportional to (v+1)^(-1/(alpha-1)), scaled
+// so the average degree is avgDeg (before the connectivity tree). Node 0
+// is the heaviest hub, and degrees fall off by index — the adversarial
+// layout for contiguous node-range sharding, since the lowest-index shard
+// owns every hub.
+//
+// Sampling is the Miller–Hagberg sorted-weight algorithm: for each u the
+// candidate partners v > u are visited by geometric skipping at the
+// current probability ceiling, so generation costs O(n + m) rather than
+// the O(n^2) of naive pair flipping. Connectivity comes from unioning a
+// uniform random attachment tree (node i attaches to a uniform node in
+// [0, i), as in RandomConnected); Chung–Lu draws that re-propose a tree
+// edge are skipped by the same flat parent-array check, so the stream
+// never carries a duplicate.
+func PowerLaw(n int, avgDeg, alpha float64, rng *rand.Rand) *Graph {
+	if alpha <= 2 {
+		panic(fmt.Sprintf("graph: PowerLaw needs alpha > 2, got %g", alpha))
+	}
+	if avgDeg <= 0 {
+		panic(fmt.Sprintf("graph: PowerLaw needs avgDeg > 0, got %g", avgDeg))
+	}
+	w := make([]float64, n)
+	var sum float64
+	for v := 0; v < n; v++ {
+		w[v] = math.Pow(float64(v+1), -1/(alpha-1))
+		sum += w[v]
+	}
+	total := avgDeg * float64(n) // sum of scaled weights
+	for v := 0; v < n; v++ {
+		w[v] *= total / sum
+	}
+	b := NewBuilder(n, n-1+int(total/2))
+	treeParent := make([]int32, n)
+	for i := range treeParent {
+		treeParent[i] = -1
+	}
+	for i := 1; i < n; i++ {
+		u := rng.Intn(i)
+		treeParent[i] = int32(u)
+		b.AddEdge(u, i, defaultWeight)
+	}
+	for u := 0; u+1 < n; u++ {
+		v := u + 1
+		p := math.Min(w[u]*w[v]/total, 1)
+		for v < n && p > 0 {
+			if p < 1 {
+				// Geometric skip: jump straight to the next candidate that
+				// would flip at probability p. The float comparison guards
+				// the rng.Float64() == 0 draw (log 0 = -Inf) without an
+				// overflow-prone int conversion.
+				skip := math.Log(rng.Float64()) / math.Log(1-p)
+				if skip >= float64(n-v) {
+					break
+				}
+				v += int(skip)
+			}
+			q := math.Min(w[u]*w[v]/total, 1)
+			if rng.Float64()*p < q && treeParent[v] != int32(u) {
+				b.AddEdge(u, v, defaultWeight)
+			}
+			p = q
+			v++
+		}
+	}
+	return b.MustFinish()
+}
+
+// PrefAttach returns a Barabási–Albert preferential-attachment graph:
+// a clique on the first m+1 nodes, then each node v in [m+1, n) attaches
+// to m distinct earlier nodes sampled with probability proportional to
+// their current degree. Degrees follow a power law with exponent ~3 and
+// the heaviest hubs sit at the lowest indices, like PowerLaw. The exact
+// edge count is m(m+1)/2 + (n-m-1)m.
+//
+// Degree-proportional sampling is the standard repeated-endpoint trick:
+// every accepted edge appends both endpoints to a target list, so a
+// uniform draw from the list is a degree-weighted draw over nodes.
+// Duplicate picks within one node's batch re-draw, deduplicated by an
+// epoch-stamped mark array (stamps are node indices >= m+1 >= 2, so the
+// zero value means "unpicked" with no clearing pass).
+func PrefAttach(n, m int, rng *rand.Rand) *Graph {
+	if m < 1 {
+		panic(fmt.Sprintf("graph: PrefAttach needs m >= 1, got %d", m))
+	}
+	if n < m+1 {
+		panic(fmt.Sprintf("graph: PrefAttach needs n >= m+1, got n=%d m=%d", n, m))
+	}
+	edges := m*(m+1)/2 + (n-m-1)*m
+	b := NewBuilder(n, edges)
+	targets := make([]int32, 0, 2*edges)
+	for u := 1; u <= m; u++ {
+		for v := 0; v < u; v++ {
+			b.AddEdge(v, u, defaultWeight)
+			targets = append(targets, int32(v), int32(u))
+		}
+	}
+	chosen := make([]int32, m)
+	mark := make([]int32, n)
+	for v := m + 1; v < n; v++ {
+		for i := 0; i < m; {
+			u := targets[rng.Intn(len(targets))]
+			if mark[u] == int32(v) {
+				continue // already picked for this v; re-draw
+			}
+			mark[u] = int32(v)
+			chosen[i] = u
+			i++
+		}
+		// Append v's endpoints only after the batch: v never self-attaches,
+		// and all m picks see the same pre-v degree distribution.
+		for _, u := range chosen {
+			b.AddEdge(int(u), v, defaultWeight)
+			targets = append(targets, u, int32(v))
+		}
+	}
+	return b.MustFinish()
+}

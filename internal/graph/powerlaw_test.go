@@ -1,0 +1,137 @@
+package graph
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+// edgeFingerprint serializes the exact edge stream for bit-identity checks.
+func edgeFingerprint(g *Graph) string {
+	s := ""
+	g.ForEdges(func(_ int, e Edge) bool {
+		s += fmt.Sprintf("%d-%d:%d;", e.U, e.V, e.W)
+		return true
+	})
+	return s
+}
+
+func TestPowerLawShape(t *testing.T) {
+	const n = 2000
+	g := PowerLaw(n, 4, 2.5, rand.New(rand.NewSource(1)))
+	if g.N() != n {
+		t.Fatalf("n = %d, want %d", g.N(), n)
+	}
+	if !g.Connected() {
+		t.Fatal("PowerLaw graph is not connected")
+	}
+	// Average degree lands near the target (the tree adds ~2, caps remove
+	// a little); mostly this guards against the sampler silently emitting
+	// almost no Chung-Lu edges.
+	avg := float64(2*g.M()) / float64(n)
+	if avg < 3 || avg > 9 {
+		t.Fatalf("average degree %.2f implausible for avgDeg=4 + tree", avg)
+	}
+	// The defining property: a heavy hub. Node 0 carries the largest
+	// weight; its degree must tower over the average.
+	if d := g.Degree(0); float64(d) < 5*avg {
+		t.Errorf("hub degree %d is not skewed (avg %.2f)", d, avg)
+	}
+	// Degrees skew low: the median node stays near tree+tail degree even
+	// though the hub is an order of magnitude above the average.
+	small := 0
+	for v := 0; v < n; v++ {
+		if g.Degree(v) <= 4 {
+			small++
+		}
+	}
+	if small < n/2 {
+		t.Errorf("only %d/%d nodes have degree <= 4; tail not power-law-ish", small, n)
+	}
+}
+
+func TestPowerLawDeterministic(t *testing.T) {
+	a := PowerLaw(500, 4, 2.5, rand.New(rand.NewSource(7)))
+	b := PowerLaw(500, 4, 2.5, rand.New(rand.NewSource(7)))
+	c := PowerLaw(500, 4, 2.5, rand.New(rand.NewSource(8)))
+	if edgeFingerprint(a) != edgeFingerprint(b) {
+		t.Error("same seed produced different PowerLaw graphs")
+	}
+	if edgeFingerprint(a) == edgeFingerprint(c) {
+		t.Error("different seeds produced identical PowerLaw graphs")
+	}
+}
+
+func TestPowerLawDegenerate(t *testing.T) {
+	for _, n := range []int{0, 1, 2} {
+		g := PowerLaw(n, 4, 2.5, rand.New(rand.NewSource(1)))
+		if g.N() != n {
+			t.Errorf("n=%d: got %d nodes", n, g.N())
+		}
+	}
+	mustPanic(t, "alpha", func() { PowerLaw(10, 4, 2.0, rand.New(rand.NewSource(1))) })
+	mustPanic(t, "avgDeg", func() { PowerLaw(10, 0, 2.5, rand.New(rand.NewSource(1))) })
+}
+
+func TestPrefAttachShape(t *testing.T) {
+	const n, m = 1500, 3
+	g := PrefAttach(n, m, rand.New(rand.NewSource(1)))
+	if g.N() != n {
+		t.Fatalf("n = %d, want %d", g.N(), n)
+	}
+	if want := m*(m+1)/2 + (n-m-1)*m; g.M() != want {
+		t.Fatalf("m = %d, want exactly %d", g.M(), want)
+	}
+	if !g.Connected() {
+		t.Fatal("PrefAttach graph is not connected")
+	}
+	// Every non-seed node attaches to m distinct earlier nodes.
+	for v := m + 1; v < n; v++ {
+		if g.Degree(v) < m {
+			t.Fatalf("node %d has degree %d < m=%d", v, g.Degree(v), m)
+		}
+	}
+	// Preferential attachment concentrates degree on the early nodes.
+	maxDeg := 0
+	for v := 0; v < n; v++ {
+		if d := g.Degree(v); d > maxDeg {
+			maxDeg = d
+		}
+	}
+	avg := float64(2*g.M()) / float64(n)
+	if float64(maxDeg) < 5*avg {
+		t.Errorf("max degree %d is not skewed (avg %.2f)", maxDeg, avg)
+	}
+}
+
+func TestPrefAttachDeterministic(t *testing.T) {
+	a := PrefAttach(400, 2, rand.New(rand.NewSource(3)))
+	b := PrefAttach(400, 2, rand.New(rand.NewSource(3)))
+	c := PrefAttach(400, 2, rand.New(rand.NewSource(4)))
+	if edgeFingerprint(a) != edgeFingerprint(b) {
+		t.Error("same seed produced different PrefAttach graphs")
+	}
+	if edgeFingerprint(a) == edgeFingerprint(c) {
+		t.Error("different seeds produced identical PrefAttach graphs")
+	}
+}
+
+func TestPrefAttachDegenerate(t *testing.T) {
+	// n == m+1 is the bare clique.
+	g := PrefAttach(4, 3, rand.New(rand.NewSource(1)))
+	if g.M() != 6 {
+		t.Errorf("clique-only PrefAttach has m=%d, want 6", g.M())
+	}
+	mustPanic(t, "m", func() { PrefAttach(5, 0, rand.New(rand.NewSource(1))) })
+	mustPanic(t, "n", func() { PrefAttach(3, 3, rand.New(rand.NewSource(1))) })
+}
+
+func mustPanic(t *testing.T, name string, fn func()) {
+	t.Helper()
+	defer func() {
+		if recover() == nil {
+			t.Errorf("%s: expected panic", name)
+		}
+	}()
+	fn()
+}
