@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build vet test test-race test-full bench bench-smoke bench-compare docs-check check
+.PHONY: build vet test test-race test-race-w4 test-race-faulty test-full fuzz-smoke bench bench-smoke bench-compare docs-check check
 
 # PR number stamped into benchmark snapshots (BENCH_$(PR).json), and the
 # provenance note recorded inside; override both per perf PR, e.g.
@@ -33,9 +33,27 @@ test-race:
 test-race-w4:
 	CONGEST_WORKERS=4 $(GO) test -race -short ./...
 
+# The fault-injection race leg: drain a faulty-scenario jobs queue over the
+# shared pool with every network on the parallel engine (CONGEST_WORKERS=4),
+# under the race detector. Faults are applied by the coordinator between
+# worker waves; this leg would trip -race if that ever stopped being true.
+test-race-faulty:
+	CONGEST_WORKERS=4 $(GO) test -race -count=1 \
+		-run 'TestJobsFaultyScenarioSharedPoolRace|TestJobsScenarioDeterministicAcrossPoolAndCache|TestScenarioParallelMatchesSequential' \
+		./internal/bench/ ./internal/congest/
+
 # Full suite, including the multi-second experiment sweeps.
 test-full:
 	$(GO) test ./...
+
+# Short native-fuzz pass over the spec grammars (nightly CI): the jobs spec
+# and the fault-scenario spec must never panic, and every accepted scenario
+# must survive a parse-print-parse round trip. `go test -fuzz` takes one
+# target per invocation, hence the two runs.
+FUZZTIME ?= 30s
+fuzz-smoke:
+	$(GO) test -run='^$$' -fuzz=FuzzParseScenario -fuzztime=$(FUZZTIME) ./internal/congest/
+	$(GO) test -run='^$$' -fuzz=FuzzParseJobSpec -fuzztime=$(FUZZTIME) ./internal/bench/
 
 # Engine benchmarks (graph-family x worker-count matrix on n=10k graphs,
 # plus the BenchmarkNetworkSetup cold-construction ladder n=10^4..10^6 and

@@ -34,6 +34,7 @@ func run(args []string, stdout io.Writer) error {
 		jobs       = fs.String("jobs", "", "serve a multi-run job spec (protocols x graphs x seeds) over one shared pool, streaming one JSON line per run; e.g. 'graphs=torus:400;protocols=mst,sssp;seeds=1-16'")
 		jobsPool   = fs.Int("jobs-pool", 0, "job-queue workers draining the -jobs spec (0 = GOMAXPROCS)")
 		jobsCache  = fs.Int("jobs-cache", 0, "warm-network LRU capacity for -jobs topology reuse (0 = default, negative disables reuse)")
+		scenario   = fs.String("scenario", "", "fault scenario applied to every -jobs run, e.g. 'crash=17@100;drop=3-9@50;seed-faults=0.01' (overrides a scenario= spec clause)")
 		cpuprofile = fs.String("cpuprofile", "", "write a CPU profile of the experiment run to this file")
 		memprofile = fs.String("memprofile", "", "write a heap profile taken after the experiment run to this file")
 	)
@@ -67,6 +68,9 @@ func run(args []string, stdout io.Writer) error {
 			}
 		}()
 	}
+	if *jobs == "" && *scenario != "" {
+		return fmt.Errorf("-scenario only applies to -jobs runs")
+	}
 	if *jobs != "" {
 		spec, err := bench.ParseJobSpec(*jobs)
 		if err != nil {
@@ -75,6 +79,9 @@ func run(args []string, stdout io.Writer) error {
 		spec.PoolWorkers = *jobsPool
 		spec.NetWorkers = *workers
 		spec.Cache = *jobsCache
+		if *scenario != "" {
+			spec.Scenario = *scenario
+		}
 		enc := json.NewEncoder(stdout)
 		sum, err := bench.RunJobs(spec, func(r bench.Result) {
 			// RunJobs serializes emit calls; stream each run as it finishes.

@@ -93,6 +93,42 @@ func TestJobsBadSpecFails(t *testing.T) {
 	}
 }
 
+// TestJobsScenarioFlag: -scenario attaches a fault scenario to every run
+// (each JSONL line names it), is rejected without -jobs, and a malformed
+// scenario is a CLI error.
+func TestJobsScenarioFlag(t *testing.T) {
+	var out bytes.Buffer
+	err := run([]string{
+		"-jobs", "graphs=torus:36;protocols=domset;seeds=1,2",
+		"-scenario", "crash=7@40;seed-faults=0.002",
+	}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc := bufio.NewScanner(&out)
+	lines := 0
+	for sc.Scan() {
+		lines++
+		var r map[string]any
+		if err := json.Unmarshal(sc.Bytes(), &r); err != nil {
+			t.Fatalf("line %d is not JSON: %v", lines, err)
+		}
+		if got, _ := r["scenario"].(string); got != "crash=7@40;seed-faults=0.002" {
+			t.Errorf("line %d scenario = %q", lines, got)
+		}
+	}
+	if lines != 2 {
+		t.Fatalf("emitted %d JSON lines, want 2", lines)
+	}
+
+	if err := run([]string{"-scenario", "crash=7@40"}, io.Discard); err == nil {
+		t.Error("-scenario without -jobs did not error")
+	}
+	if err := run([]string{"-jobs", "graphs=torus:36", "-scenario", "crash=7"}, io.Discard); err == nil {
+		t.Error("malformed -scenario did not error")
+	}
+}
+
 // TestOneExperimentParallel runs the cheapest real experiment end-to-end
 // through the CLI path with the parallel engine enabled.
 func TestOneExperimentParallel(t *testing.T) {

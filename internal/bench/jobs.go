@@ -69,6 +69,13 @@ type JobSpec struct {
 	// Cache is the warm-network LRU capacity (< 0: disable reuse;
 	// 0: defaultJobCache).
 	Cache int
+
+	// Scenario is a fault scenario applied to every run, in the
+	// congest.ParseScenario grammar (empty: fault-free). The scenario is
+	// attached after each run's Reset, so a reused network replays the
+	// identical fault sequence a fresh one would — faults change the
+	// simulated execution, never the serving determinism.
+	Scenario string
 }
 
 // defaultJobCache bounds how many warm networks the runner keeps between
@@ -101,6 +108,7 @@ type Result struct {
 	Messages int64   `json:"messages"`
 	Output   string  `json:"output"`
 	MS       float64 `json:"ms"`
+	Scenario string  `json:"scenario,omitempty"`
 	Err      string  `json:"err,omitempty"`
 }
 
@@ -413,6 +421,14 @@ func RunJobs(spec JobSpec, emit func(Result)) (Summary, error) {
 	if err != nil {
 		return Summary{}, err
 	}
+	// The scenario grammar is parsed once here; topology validation (does
+	// that node/edge exist?) happens per network in runJob, where a mismatch
+	// becomes that run's Result.Err, not a fatal drain error.
+	scenario, err := congest.ParseScenario(spec.Scenario)
+	if err != nil {
+		return Summary{}, fmt.Errorf("job spec scenario: %w", err)
+	}
+	scenarioStr := scenario.String()
 	poolWorkers := spec.PoolWorkers
 	if poolWorkers <= 0 {
 		poolWorkers = runtime.GOMAXPROCS(0)
@@ -432,7 +448,7 @@ func RunJobs(spec JobSpec, emit func(Result)) (Summary, error) {
 			if i >= len(jobs) {
 				return
 			}
-			res := runJob(jobs[i], cache, spec.NetWorkers)
+			res := runJob(jobs[i], cache, spec.NetWorkers, scenario, scenarioStr)
 			mu.Lock()
 			sum.Runs++
 			if res.Err != "" {
@@ -455,10 +471,14 @@ func RunJobs(spec JobSpec, emit func(Result)) (Summary, error) {
 }
 
 // runJob executes one work item: check out (or build) the topology's
-// network, Reset it to as-new state, run the protocol, emit the accounting,
-// and check the network back in warm. Reset runs on fresh networks too —
-// a no-op there — so every run starts from the identical contract.
-func runJob(j Job, cache *netCache, netWorkers int) Result {
+// network, Reset it to as-new state, attach the drain's fault scenario, run
+// the protocol, emit the accounting, and check the network back in warm.
+// Reset runs on fresh networks too — a no-op there — so every run starts
+// from the identical contract, and SetScenario compiles a rewound fault
+// state every time, so a warm network replays the same faults a fresh one
+// sees. A scenario the topology rejects (a crash node or drop edge the
+// graph does not have) is that run's Result.Err.
+func runJob(j Job, cache *netCache, netWorkers int, scenario *congest.Scenario, scenarioStr string) Result {
 	start := time.Now()
 	key := netKey{family: j.Family, n: j.N, seed: j.Seed}
 	net := cache.checkout(key)
@@ -472,7 +492,11 @@ func runJob(j Job, cache *netCache, netWorkers int) Result {
 		}
 	}
 	net.Reset()
-	out, err := jobProtocols[j.Protocol](net)
+	err := net.SetScenario(scenario)
+	var out string
+	if err == nil {
+		out, err = jobProtocols[j.Protocol](net)
+	}
 	res := Result{
 		Job:      j.Index,
 		Protocol: j.Protocol,
@@ -484,6 +508,7 @@ func runJob(j Job, cache *netCache, netWorkers int) Result {
 		Messages: net.Total().Messages,
 		Output:   digest(out),
 		MS:       float64(time.Since(start).Microseconds()) / 1e3,
+		Scenario: scenarioStr,
 	}
 	if err != nil {
 		res.Err = err.Error()
@@ -507,6 +532,12 @@ func digest(s string) string {
 //	protocols=mst,domset       protocol names, or "all" (default: all)
 //	graphs=torus:400,random:120  family:targetN pairs (required)
 //	seeds=1,2,5-8              seed list with inclusive ranges (default: 1)
+//	scenario=crash=7@2+seed-faults=0.01  fault scenario for every run
+//
+// The scenario value is itself in the congest.ParseScenario grammar, which
+// accepts '+' as a clause separator precisely so a whole scenario fits in
+// one jobs clause without colliding with the ';' that separates jobs
+// clauses here.
 //
 // Example: -jobs 'graphs=torus:400;protocols=mst,sssp;seeds=1-16'.
 // Pool width, engine workers, and cache capacity are flags, not spec
@@ -559,8 +590,13 @@ func ParseJobSpec(s string) (JobSpec, error) {
 					spec.Seeds = append(spec.Seeds, v)
 				}
 			}
+		case "scenario":
+			if _, err := congest.ParseScenario(val); err != nil {
+				return JobSpec{}, fmt.Errorf("scenario %q: %v", val, err)
+			}
+			spec.Scenario = val
 		default:
-			return JobSpec{}, fmt.Errorf("unknown job spec key %q (have: protocols, graphs, seeds)", key)
+			return JobSpec{}, fmt.Errorf("unknown job spec key %q (have: protocols, graphs, seeds, scenario)", key)
 		}
 	}
 	if len(spec.Graphs) == 0 {

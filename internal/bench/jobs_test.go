@@ -45,13 +45,25 @@ func TestParseJobSpec(t *testing.T) {
 		}
 	}
 
+	// A scenario clause rides inside the jobs grammar using the scenario
+	// grammar's '+' separator form.
+	spec, err = ParseJobSpec("graphs=torus:36;scenario=crash=7@2+seed-faults=0.01")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if spec.Scenario != "crash=7@2+seed-faults=0.01" {
+		t.Errorf("scenario clause parsed to %q", spec.Scenario)
+	}
+
 	for _, bad := range []string{
-		"",                           // no graphs
-		"graphs=torus",               // missing :n
-		"graphs=torus:x",             // bad size
-		"graphs=torus:400;seeds=9-2", // descending range
-		"graphs=torus:400;frobs=1",   // unknown key
-		"protocols",                  // not key=value
+		"",                                  // no graphs
+		"graphs=torus",                      // missing :n
+		"graphs=torus:x",                    // bad size
+		"graphs=torus:400;seeds=9-2",        // descending range
+		"graphs=torus:400;frobs=1",          // unknown key
+		"protocols",                         // not key=value
+		"graphs=torus:400;scenario=crash=7", // scenario grammar error
+		"graphs=torus:400;scenario=seed-faults=2", // rate out of range
 	} {
 		if _, err := ParseJobSpec(bad); err == nil {
 			t.Errorf("ParseJobSpec(%q) succeeded, want error", bad)
@@ -88,12 +100,13 @@ func TestJobsJSONLFieldStability(t *testing.T) {
 	if string(line) != golden {
 		t.Errorf("JSONL encoding drifted:\n got: %s\nwant: %s", line, golden)
 	}
-	// err is omitempty: successful runs must not carry an empty err field.
-	withErr, err := json.Marshal(Result{Err: "budget"})
+	// scenario and err are omitempty: fault-free successful runs carry
+	// neither, and a faulty run's line names its scenario.
+	withErr, err := json.Marshal(Result{Scenario: "crash=7@2", Err: "budget"})
 	if err != nil {
 		t.Fatal(err)
 	}
-	const goldenErr = `{"job":0,"protocol":"","family":"","n":0,"seed":0,"reused":false,"rounds":0,"messages":0,"output":"","ms":0,"err":"budget"}`
+	const goldenErr = `{"job":0,"protocol":"","family":"","n":0,"seed":0,"reused":false,"rounds":0,"messages":0,"output":"","ms":0,"scenario":"crash=7@2","err":"budget"}`
 	if string(withErr) != goldenErr {
 		t.Errorf("JSONL error encoding drifted:\n got: %s\nwant: %s", withErr, goldenErr)
 	}
@@ -206,6 +219,110 @@ func TestJobsSharedPoolRace(t *testing.T) {
 	results, sum := drainSpec(t, spec)
 	if len(results) != 18 {
 		t.Fatalf("expected 18 runs, got %d", len(results))
+	}
+	if sum.RunsPerSec <= 0 {
+		t.Errorf("summary runs/sec = %v, want > 0", sum.RunsPerSec)
+	}
+}
+
+// drainFaulty runs a spec whose scenario may legitimately make runs fail,
+// returning queue-ordered results with MS zeroed. Unlike drainSpec it keeps
+// Err: under faults an error (a protocol starved past its budget by dead
+// edges) is a valid deterministic outcome, and the bit-identity tests below
+// compare it like any other field.
+func drainFaulty(t *testing.T, spec JobSpec) ([]Result, Summary) {
+	t.Helper()
+	var results []Result
+	sum, err := RunJobs(spec, func(r Result) { results = append(results, r) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	sort.Slice(results, func(i, j int) bool { return results[i].Job < results[j].Job })
+	for i := range results {
+		results[i].MS = 0
+	}
+	return results, sum
+}
+
+// faultySpec is the shared faulty serving fixture: a scripted crash plus a
+// low random fault rate, over topologies small enough that most protocols
+// still terminate.
+func faultySpec() JobSpec {
+	return JobSpec{
+		Protocols: []string{"domset", "verify", "corefast-pa"},
+		Graphs:    []GraphSpec{{Family: "torus", N: 36}, {Family: "grid", N: 49}},
+		Seeds:     []int64{1, 2},
+		Scenario:  "crash=7@40+seed-faults=0.002",
+	}
+}
+
+// TestJobsScenarioDeterministicAcrossPoolAndCache is the faulty half of the
+// serving determinism proof: a drain under a fault scenario is bit-identical
+// whether networks are fresh, Reset-reused, or drained concurrently —
+// SetScenario after Reset rewinds the fault state, so a warm network replays
+// the same crashes the fresh one saw.
+func TestJobsScenarioDeterministicAcrossPoolAndCache(t *testing.T) {
+	base := faultySpec()
+	base.PoolWorkers = 1
+	base.Cache = -1
+	fresh, _ := drainFaulty(t, base)
+
+	reusing := faultySpec()
+	reusing.PoolWorkers = 1
+	warm, sum := drainFaulty(t, reusing)
+	if sum.Reused == 0 {
+		t.Error("faulty drain with adjacent same-topology jobs reused no network")
+	}
+
+	wide := faultySpec()
+	wide.PoolWorkers = 4
+	concurrent, _ := drainFaulty(t, wide)
+
+	for i := range fresh {
+		fresh[i].Reused = false
+		warm[i].Reused = false
+		concurrent[i].Reused = false
+		if fresh[i].Scenario == "" {
+			t.Fatalf("job %d result does not name its scenario", i)
+		}
+	}
+	if !reflect.DeepEqual(fresh, warm) {
+		t.Errorf("faulty reused-network drain diverged from fresh-network drain")
+	}
+	if !reflect.DeepEqual(fresh, concurrent) {
+		t.Errorf("faulty pool=4 drain diverged from sequential drain")
+	}
+}
+
+// TestJobsScenarioTopologyMismatch: a scenario naming a node a small graph
+// does not have fails that run (Result.Err), not the drain.
+func TestJobsScenarioTopologyMismatch(t *testing.T) {
+	spec := JobSpec{
+		Protocols:   []string{"domset"},
+		Graphs:      []GraphSpec{{Family: "torus", N: 16}},
+		Scenario:    "crash=5000@1",
+		PoolWorkers: 1,
+	}
+	results, sum := drainFaulty(t, spec)
+	if len(results) != 1 || sum.Errors != 1 {
+		t.Fatalf("got %d results, %d errors, want 1 and 1", len(results), sum.Errors)
+	}
+	if results[0].Err == "" {
+		t.Error("topology-mismatched scenario did not surface in Result.Err")
+	}
+}
+
+// TestJobsFaultyScenarioSharedPoolRace drives a faulty-scenario queue over
+// the shared pool — the CONGEST_WORKERS=4 race CI leg runs this with every
+// job's network on the parallel engine, making it the standing data-race
+// check on the fault path (applyFaults runs on the coordinator between
+// worker waves; this test would trip -race if that ever stopped being true).
+func TestJobsFaultyScenarioSharedPoolRace(t *testing.T) {
+	spec := faultySpec()
+	spec.PoolWorkers = 4
+	results, sum := drainFaulty(t, spec)
+	if want := 12; len(results) != want {
+		t.Fatalf("expected %d runs, got %d", want, len(results))
 	}
 	if sum.RunsPerSec <= 0 {
 		t.Errorf("summary runs/sec = %v, want > 0", sum.RunsPerSec)

@@ -127,8 +127,10 @@ type Network struct {
 	phases   []Phase
 	workers  int
 	plan     *shardPlan // cached edge-balanced shard boundaries (shard.go); nil until first parallel wave, dropped by SetWorkers/Reset
-	running  bool       // a phase is executing; guards Reset/SetWorkers mid-phase
+	running  bool       // a phase is executing; guards Reset/SetWorkers/SetScenario mid-phase
 	clock    int64      // global round counter across phases; stamps never repeat
+	scenario *Scenario  // attached fault scenario (scenario.go); nil = fault-free
+	fault    *faultState
 	buf      *engineBuffers
 }
 
@@ -339,6 +341,13 @@ func (n *Network) ResetMetrics() {
 //     fresh-network execution;
 //   - clears the cost accounting (ResetMetrics): totals and the per-phase
 //     history, which would otherwise grow without bound across served runs;
+//   - rewinds the attached fault scenario (if any) to scenario round 0:
+//     every node revives, every edge heals, the scheduled-event cursor and
+//     the fault PRNG return to their origins, so a served run replays the
+//     identical fault sequence. The scenario stays attached — detaching is
+//     SetScenario(nil)'s job, not Reset's. With a scenario attached the
+//     rewind makes Reset O(n + 2m) (the death flags are cleared in place);
+//     fault-free networks keep the O(n) bound below;
 //   - leaves the global round clock alone. The clock only ever rolls
 //     forward, which is precisely what makes the delivery buffers reusable
 //     without clearing: stale slot and wake stamps are strictly older than
@@ -365,6 +374,9 @@ func (n *Network) Reset() {
 	// valid across Reset — but as-new means as-new: a reset network holds no
 	// derived scheduling state, and recomputing is O(workers log n).
 	n.plan = nil
+	if n.fault != nil {
+		n.fault.rewind()
+	}
 	n.ResetMetrics()
 }
 
@@ -533,8 +545,9 @@ type runState struct {
 	started     bool
 	inFlight    int64
 	activeCount int64 // nodes whose last Step returned active (summed per shard)
-	workers     int     // goroutines stepping nodes; <= 1 means sequential
-	pool        *pool   // persistent worker pool; nil until first parallel step
+	workers     int         // goroutines stepping nodes; <= 1 means sequential
+	fault       *faultState // the network's compiled scenario at phase start; nil = fault-free
+	pool        *pool       // persistent worker pool; nil until first parallel step
 	stepJob     job     // hoisted step-wave closure (no per-round allocation)
 	scanJob     job     // hoisted wake-scan-wave closure
 	stepBounds  []int32 // sender-weighted edge-balanced shard boundaries (shard.go)
@@ -559,6 +572,7 @@ func newRunState(n *Network, p NodeProc, workers int) *runState {
 		base:          n.clock,
 		round:         n.clock,
 		workers:       workers,
+		fault:         n.fault,
 		engineBuffers: n.buf,
 	}
 	if t, ok := p.(procTable); ok {
@@ -572,8 +586,12 @@ func newRunState(n *Network, p NodeProc, workers int) *runState {
 // each parallel worker (its shard). It returns how many stepped nodes came
 // back active, which is the range's total active count: a node left
 // unstepped is never active (an active node is always scheduled, so its
-// flag is rewritten every round).
+// flag is rewritten every round — crashed nodes are the one exception, and
+// their stale flags sit behind the crash check in the faulty loop).
 func (st *runState) stepRange(ctx *Ctx, lo, hi int) (active int64) {
+	if f := st.fault; f != nil {
+		return st.stepRangeFaulty(ctx, lo, hi, f)
+	}
 	if t := st.table; t != nil {
 		for v := lo; v < hi; v++ {
 			if st.scheduled(v) {
@@ -636,6 +654,7 @@ func (st *runState) step() int64 {
 		return st.stepParallel()
 	}
 	st.started = true
+	st.applyFaults()
 	var sent int64
 	ctx := Ctx{st: st, sent: &sent}
 	st.activeCount = st.stepRange(&ctx, 0, st.net.N())

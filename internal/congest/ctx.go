@@ -156,6 +156,11 @@ func (c *Ctx) ForRecv(f func(rank int, in Incoming)) {
 // exists on any engine. Sending twice on the same port in one round
 // violates the CONGEST model and panics: that is a protocol bug, not a
 // runtime condition.
+//
+// Under a fault scenario, a Send on a dead port (see PortDown) is counted
+// in Metrics.Messages and then dropped: the sender pays the model's message
+// cost, the receiver never sees anything, and no slot is written — so the
+// double-send panic does not apply to dead ports.
 func (c *Ctx) Send(p int, m Message) {
 	st := c.st
 	csr := &st.net.csr
@@ -163,6 +168,10 @@ func (c *Ctx) Send(p int, m Message) {
 	h := lo + int32(p)
 	if p < 0 || h >= hi {
 		panic(fmt.Sprintf("congest: node %d has no port %d (degree %d)", c.v, p, hi-lo))
+	}
+	if f := st.fault; f != nil && f.portDead[h] {
+		*c.sent++
+		return
 	}
 	slot := st.net.destSlot[h]
 	b := st.engineBuffers
@@ -199,10 +208,31 @@ func (c *Ctx) CanSend(p int) bool {
 	return c.st.nextStamp[c.st.net.destSlot[h]] != c.st.round
 }
 
+// PortDown reports whether port p's edge is dead under the network's fault
+// scenario: the edge was dropped, or the neighbor behind it crashed. On a
+// fault-free network every port is up. Asking for a port the node does not
+// have panics, as Send does.
+//
+// PortDown is the only protocol-visible fault signal besides silence: a
+// crashed node is never stepped, so from inside a Step the world consists
+// of live ports that deliver and dead ports that don't.
+func (c *Ctx) PortDown(p int) bool {
+	st := c.st
+	rs := st.net.csr.RowStart
+	lo, hi := rs[c.v], rs[c.v+1]
+	h := lo + int32(p)
+	if p < 0 || h >= hi {
+		panic(fmt.Sprintf("congest: node %d has no port %d (degree %d)", c.v, p, hi-lo))
+	}
+	f := st.fault
+	return f != nil && f.portDead[h]
+}
+
 // Broadcast sends m on every port (one message per edge, as the model
 // allows). Equivalent to calling Send on each port in ascending order, but
 // fused into one pass over the node's CSR window — the hottest send pattern
-// in the paper's protocols (floods, aggregation storms).
+// in the paper's protocols (floods, aggregation storms). Dead ports are
+// counted-then-dropped exactly as Send drops them.
 func (c *Ctx) Broadcast(m Message) {
 	st := c.st
 	csr := &st.net.csr
@@ -212,7 +242,11 @@ func (c *Ctx) Broadcast(m Message) {
 	b := st.engineBuffers
 	round := st.round
 	sequential := st.workers <= 1
+	fault := st.fault
 	for i, slot := range dest {
+		if fault != nil && fault.portDead[lo+int32(i)] {
+			continue // counted below, dropped here — same as Send on a dead port
+		}
 		if b.nextStamp[slot] == round {
 			panic(fmt.Sprintf("congest: node %d sent twice on port %d in round %d", c.v, i, round-st.base))
 		}

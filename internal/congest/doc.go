@@ -57,6 +57,19 @@
 // pool for callers draining their own work queues. See README.md "Network
 // reuse: Reset and the serving contract".
 //
+// Networks optionally run under a fault scenario (scenario.go, README.md
+// "Fault model: scenarios"): Network.SetScenario attaches scheduled node
+// crashes and edge drops plus a seeded per-round random fault rate, parsed
+// from a small spec grammar ("crash=17@100;drop=3-9@50;seed-faults=0.01").
+// Semantics are fail-stop with boundary message loss — crashed nodes stop
+// stepping, dead edges destroy in-flight deliveries and silently swallow
+// later sends (still counted in Messages), and survivors observe faults
+// only through silence and Ctx.PortDown. Faults are applied by the
+// coordinator between rounds, so a faulty execution — including any
+// protocol error it provokes — is bit-identical across both engines and
+// across Reset reuse (Reset rewinds the scenario rather than detaching
+// it); the scenario leg of the equivalence harness enforces this.
+//
 // Cost accounting follows the paper's measures: Rounds is the number of
 // synchronous rounds executed until global quiescence (or the budget), and
 // Messages counts every send. Quiescence — no node active and no message in

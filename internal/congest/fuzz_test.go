@@ -1,0 +1,44 @@
+package congest
+
+import (
+	"reflect"
+	"testing"
+)
+
+// FuzzParseScenario fuzzes the scenario spec grammar: no input may panic
+// the parser, and every accepted input must survive a parse-print-parse
+// round trip — String() is defined as the canonical form ParseScenario
+// reproduces exactly.
+func FuzzParseScenario(f *testing.F) {
+	for _, seed := range []string{
+		"",
+		"crash=17@100",
+		"crash=17@100;drop=3-9@50;seed-faults=0.01",
+		"crash=1@5+drop=0-1@2+fault-seed=3",
+		"crash=17@100,4@2",
+		"seed-faults=0.0005",
+		"fault-seed=-9",
+		"crash=;drop=--@",
+		"seed-faults=+Inf",
+		"crash=99999999999@1",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, s string) {
+		sc, err := ParseScenario(s)
+		if err != nil {
+			return
+		}
+		printed := sc.String()
+		again, err := ParseScenario(printed)
+		if err != nil {
+			t.Fatalf("canonical form %q (of %q) does not re-parse: %v", printed, s, err)
+		}
+		if !reflect.DeepEqual(sc, again) {
+			t.Fatalf("round trip of %q changed the scenario: %+v -> %q -> %+v", s, sc, printed, again)
+		}
+		if printed != again.String() {
+			t.Fatalf("canonical form of %q is not a fixed point: %q -> %q", s, printed, again.String())
+		}
+	})
+}

@@ -220,6 +220,11 @@ func (st *runState) scanShard(i int) {
 // the number of messages sent.
 func (st *runState) stepParallel() int64 {
 	st.started = true
+	// Faults apply on the coordinator before the step wave starts — the
+	// identical boundary the sequential engine uses — so every worker
+	// observes the same crashed/dead state for the whole round and the
+	// in-flight deliveries a fault destroys are gone on both engines.
+	st.applyFaults()
 	st.ensurePool()
 	sent, active := st.pool.wave(st.stepJob)
 	st.activeCount = active

@@ -154,8 +154,11 @@ func TestSetWorkersMidPhasePanics(t *testing.T) {
 		if r == nil {
 			t.Fatal("SetWorkers mid-phase did not panic")
 		}
-		if !strings.Contains(Sprint(r), "SetWorkers") {
-			t.Fatalf("unexpected panic: %v", r)
+		// The exact message is part of the contract: serving harnesses match
+		// on it to distinguish a mid-phase misuse from a protocol panic.
+		const want = "congest: SetWorkers called while a phase is running"
+		if Sprint(r) != want {
+			t.Fatalf("panic = %q, want %q", Sprint(r), want)
 		}
 	}()
 	net.RunNodes("midphase/setworkers", NodeProcFunc(func(ctx *Ctx, v int) bool {
@@ -172,8 +175,9 @@ func TestResetMidPhasePanics(t *testing.T) {
 		if r == nil {
 			t.Fatal("Reset mid-phase did not panic")
 		}
-		if !strings.Contains(Sprint(r), "Reset") {
-			t.Fatalf("unexpected panic: %v", r)
+		const want = "congest: Reset called while a phase is running"
+		if Sprint(r) != want {
+			t.Fatalf("panic = %q, want %q", Sprint(r), want)
 		}
 	}()
 	net.RunNodes("midphase/reset", NodeProcFunc(func(ctx *Ctx, v int) bool {

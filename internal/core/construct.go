@@ -3,6 +3,7 @@ package core
 import (
 	"errors"
 	"fmt"
+	"math"
 	"sort"
 
 	"shortcutpa/internal/congest"
@@ -308,10 +309,18 @@ func (e *Engine) verifyParts(inf *Infra, check []int64) (map[int64]bool, error) 
 		return nil, fmt.Errorf("core: final verification did not settle: %w", err)
 	}
 	if check == nil {
+		// Report the smallest failing ID, not the first map-iteration hit:
+		// error strings are part of the bit-identical execution contract
+		// (the scenario-equivalence harness compares them), so the choice
+		// must be deterministic.
+		worst := int64(math.MaxInt64)
 		for id, ok := range passed {
-			if !ok {
-				return nil, fmt.Errorf("core: part %d failed final verification", id)
+			if !ok && id < worst {
+				worst = id
 			}
+		}
+		if worst != math.MaxInt64 {
+			return nil, fmt.Errorf("core: part %d failed final verification", worst)
 		}
 	}
 	return passed, nil

@@ -2,6 +2,7 @@ package graph
 
 import (
 	"fmt"
+	"math"
 	"math/rand"
 	"os"
 	"sort"
@@ -125,7 +126,15 @@ func TestLoadEdgeListErrors(t *testing.T) {
 		{"one-field", "1\n"},
 		{"bad-weight", "1 2 0\n"},
 		{"negative-id", "-1 2\n"},
+		{"negative-second-id", "1 -2\n"},
 		{"float-weight", "1 2 0.5\n"},
+		{"hex-id", "0x10 2\n"},
+		{"id-overflows-int64", "99999999999999999999999 2\n"},
+		{"second-id-overflows-int64", "1 99999999999999999999999\n"},
+		{"weight-overflows-int64", "1 2 99999999999999999999999\n"},
+		{"negative-weight", "1 2 -7\n"},
+		{"four-fields", "1 2 3 4\n"},
+		{"dimacs-bad-edge", "c header\ne 1 x\n"},
 	} {
 		t.Run(tc.name, func(t *testing.T) {
 			if _, _, err := LoadEdgeList(strings.NewReader(tc.in)); err == nil {
@@ -137,5 +146,53 @@ func TestLoadEdgeListErrors(t *testing.T) {
 	g, ids, err := LoadEdgeList(strings.NewReader("# nothing\n"))
 	if err != nil || g.N() != 0 || len(ids) != 0 {
 		t.Errorf("empty input: g.N()=%d ids=%v err=%v", g.N(), ids, err)
+	}
+}
+
+// TestLoadEdgeListErrorLineNumbers pins that parse errors name the offending
+// 1-based input line — comments and blanks still count, because that is the
+// number an editor shows.
+func TestLoadEdgeListErrorLineNumbers(t *testing.T) {
+	in := "# header\n\n1 2\n1 2 bogus\n"
+	_, _, err := LoadEdgeList(strings.NewReader(in))
+	if err == nil {
+		t.Fatal("expected error")
+	}
+	if !strings.Contains(err.Error(), "line 4") {
+		t.Fatalf("error %q does not name line 4", err)
+	}
+	if !strings.Contains(err.Error(), `"bogus"`) {
+		t.Fatalf("error %q does not quote the bad field", err)
+	}
+}
+
+// TestLoadEdgeListSparseLargeIDs feeds external IDs well above int32 range:
+// they must parse (IDs are int64), remap densely in ascending order, and keep
+// their weights — the internal node index never sees the external magnitude.
+func TestLoadEdgeListSparseLargeIDs(t *testing.T) {
+	const big = int64(1) << 40 // ~1.1e12, far beyond int32
+	in := fmt.Sprintf("%d %d 3\n%d %d 5\n7 %d 2\n", big, big+2, big+2, big+9, big)
+	g, ids, err := LoadEdgeList(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantIDs := []int64{7, big, big + 2, big + 9}
+	if fmt.Sprint(ids) != fmt.Sprint(wantIDs) {
+		t.Fatalf("ids = %v, want %v", ids, wantIDs)
+	}
+	if g.N() != 4 || g.M() != 3 {
+		t.Fatalf("n=%d m=%d, want 4/3", g.N(), g.M())
+	}
+	if w := g.TotalWeight(); w != 10 {
+		t.Fatalf("total weight = %d, want 10", w)
+	}
+	// Max representable ID round-trips.
+	maxIn := fmt.Sprintf("0 %d\n", int64(math.MaxInt64))
+	_, ids, err = LoadEdgeList(strings.NewReader(maxIn))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ids[1] != math.MaxInt64 {
+		t.Fatalf("ids = %v, want max int64 preserved", ids)
 	}
 }
