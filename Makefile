@@ -3,12 +3,12 @@
 
 GO ?= go
 
-.PHONY: build vet test test-race test-race-w4 test-race-faulty test-full fuzz-smoke bench bench-smoke bench-compare docs-check check
+.PHONY: build vet test test-race test-race-w4 test-race-faulty test-full fuzz-smoke bench bench-smoke bench-compare bench-allocs-check docs-check check
 
 # PR number stamped into benchmark snapshots (BENCH_$(PR).json), and the
 # provenance note recorded inside; override both per perf PR, e.g.
 #   make bench PR=5 BENCH_NOTE="batched wake scan; vs BENCH_2: ..."
-PR ?= 7
+PR ?= 9
 BENCH_NOTE ?= engine benchmark snapshot (PR $(PR)); compare against the previous BENCH_<n>.json via benchstat
 
 build:
@@ -73,8 +73,8 @@ bench-smoke:
 # benchstat comparison of two committed benchmark snapshots (nightly CI
 # appends the output to its job summary for the perf trajectory). Falls
 # back to naming the raw snapshots when jq/benchstat are unavailable.
-BENCH_OLD ?= BENCH_6.json
-BENCH_NEW ?= BENCH_7.json
+BENCH_OLD ?= BENCH_7.json
+BENCH_NEW ?= BENCH_9.json
 bench-compare:
 	@if ! command -v jq >/dev/null 2>&1; then \
 		echo "bench-compare: jq unavailable; raw snapshots: $(BENCH_OLD) $(BENCH_NEW)"; exit 0; fi; \
@@ -117,7 +117,48 @@ bench-compare:
 		jq -r '.raw[]' $$f | grep -E 'BenchmarkEngine/family=(star|powerlaw)/' \
 			| awk '{line = "    " $$1; for (i=2; i<=NF; i++) { if ($$i == "ns/round") line = line sprintf("  %s ns/round", $$(i-1)); if ($$i == "shard-max/mean") line = line sprintf("  %sx shard-max/mean", $$(i-1)) } print line}' | sort -u; \
 		jq -r '.raw[]' $$f | grep -qE 'BenchmarkEngine/family=(star|powerlaw)/' || echo "    (no skewed-family rows in this snapshot)"; \
+	done; \
+	echo ""; \
+	echo "bytes per edge slot (BenchmarkEngine bytes/slot; resident slot-array memory, Network.MemFootprint):"; \
+	for f in $(BENCH_OLD) $(BENCH_NEW); do \
+		echo "  $$f:"; \
+		jq -r '.raw[]' $$f | grep -E 'BenchmarkEngine/family=' \
+			| awk '{for (i=2; i<=NF; i++) if ($$i == "bytes/slot") printf "    %-55s %s bytes/slot\n", $$1, $$(i-1)}' | sort -u; \
+		jq -r '.raw[]' $$f | grep -E 'BenchmarkEngine/family=' | grep -q 'bytes/slot' \
+			|| echo "    (no bytes/slot metric in this snapshot — pre-PR-9 layout: 120 B of Incoming arrays + 16 B of int64 stamps per slot)"; \
 	done
+
+# Allocation regression gate (nightly CI): the engine's steady-state round
+# loop must stay allocation-free on the sequential engine and within pool
+# overhead on the parallel one, and phase setup must stay at its two
+# pinned workload-side allocations (the closure and counter documented on
+# BenchmarkEngineSetup). Ceilings carry small headroom over the pinned
+# values (0 / 31 / 52 / 2) so scheduler wobble in the pool rows doesn't
+# flake the gate; a layout or setup regression blows straight past them.
+bench-allocs-check:
+	@$(GO) test -run='^$$' -bench='^BenchmarkEngine$$|^BenchmarkEngineSetup$$' -benchmem -benchtime=5x ./internal/congest/ \
+		| tee /tmp/bench_allocs.txt \
+		| awk ' \
+		/^Benchmark/ { \
+			limit = -1; \
+			if ($$1 ~ /^BenchmarkEngineSetup\//) { if ($$1 ~ /proc=shared/) limit = 4 } \
+			else if ($$1 ~ /^BenchmarkEngine\//) { \
+				if ($$1 ~ /workers=1($$|-)/) limit = 2; \
+				else if ($$1 ~ /workers=4($$|-)/) limit = 40; \
+				else if ($$1 ~ /workers=8($$|-)/) limit = 64; \
+			} \
+			if (limit < 0) next; \
+			allocs = ""; \
+			for (i = 2; i <= NF; i++) if ($$i == "allocs/op") allocs = $$(i-1); \
+			if (allocs == "") next; \
+			checked++; \
+			if (allocs + 0 > limit) { printf "bench-allocs-check: %s at %s allocs/op exceeds pinned ceiling %d\n", $$1, allocs, limit; fail = 1 } \
+		} \
+		END { \
+			if (checked == 0) { print "bench-allocs-check: no benchmark rows parsed"; exit 1 } \
+			if (fail) exit 1; \
+			printf "bench-allocs-check: %d rows within pinned allocs/op ceilings\n", checked \
+		}'
 
 # Every package must carry its package comment in a doc.go file, so
 # `go doc` stays useful and docs don't drift into scattered lead files.

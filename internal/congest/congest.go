@@ -2,12 +2,14 @@ package congest
 
 import (
 	"fmt"
+	"math"
 	"math/rand"
 	"os"
 	"runtime"
 	"sort"
 	"strconv"
 	"sync"
+	"sync/atomic"
 
 	"shortcutpa/internal/graph"
 )
@@ -117,6 +119,7 @@ type Network struct {
 	csr      graph.CSR
 	destSlot []int32 // per sender half-edge: the rank-indexed receiver slot it delivers into
 	portSlot []int32 // per receiver half-edge RowStart[v]+p: the slot holding the message arriving on port p
+	slotPort []int32 // per slot: the receiver-side arrival port (inverse of portSlot within each row) — slots store no ports, readers derive them here
 	scratch  *Scratch
 	seed     int64
 	ids      []int64
@@ -129,9 +132,11 @@ type Network struct {
 	plan     *shardPlan // cached edge-balanced shard boundaries (shard.go); nil until first parallel wave, dropped by SetWorkers/Reset
 	running  bool       // a phase is executing; guards Reset/SetWorkers/SetScenario mid-phase
 	clock    int64      // global round counter across phases; stamps never repeat
+	epoch    int64      // stamp epoch base: the int32 buffer stamps encode clock-epoch (see renormStamps)
 	scenario *Scenario  // attached fault scenario (scenario.go); nil = fault-free
 	fault    *faultState
 	buf      *engineBuffers
+	rs       *runState // recycled per-phase state: one allocation for the network's lifetime, rewritten by every RunNodesParallel
 }
 
 // NewNetwork wraps g for simulation. The seed determines node IDs and all
@@ -206,8 +211,10 @@ const clockBase = 2
 // (sender, port) pairs by construction. portSlot maps the receiver's ports
 // to the same slots: for receiver v, portSlot[RowStart[v]+p] is the slot
 // holding the message that arrives on port p — the O(1) lookup behind
-// RecvOn. (The slot's arrival port itself travels with the message: Send
-// stores it from PortRev, so no rank -> port table is materialized.)
+// RecvOn. slotPort is its inverse within each row: slotPort[s] is the
+// arrival port of slot s. Slots themselves store only the 32-byte Message
+// (no per-round port copy); every read path that reports a port derives it
+// from this static table instead.
 //
 // With workers > 1 the fill shards across a temporary worker pool (see
 // fillGeometryParallel); the sequential pass below is the reference the
@@ -217,6 +224,7 @@ func (n *Network) fillGeometry() {
 	rs := n.csr.RowStart
 	n.destSlot = make([]int32, len(n.csr.PortTo))
 	n.portSlot = make([]int32, len(n.csr.PortTo))
+	n.slotPort = make([]int32, len(n.csr.PortTo))
 	if n.workers > 1 && nodes >= minParallelFillNodes {
 		// The fill's transient counters are O(workers * n), and shards
 		// beyond the CPU count add only that scratch (the result is
@@ -233,6 +241,7 @@ func (n *Network) fillGeometry() {
 			slot := rs[v] + fill[v]
 			n.destSlot[h] = slot
 			n.portSlot[rs[v]+n.csr.PortRev[h]] = slot
+			n.slotPort[slot] = n.csr.PortRev[h]
 			fill[v]++
 		}
 	}
@@ -316,13 +325,16 @@ func (n *Network) Phases() []Phase {
 }
 
 // ResetMetrics clears accumulated metrics (e.g. to exclude setup phases from
-// an experiment's accounting). The per-phase history is dropped by setting it
-// to nil, not truncated: a truncated slice would keep the old backing array —
-// and every per-run phase-name string in it — reachable across thousands of
-// served runs. Dropping the array bounds the history's footprint at one run.
+// an experiment's accounting). The per-phase history is cleared, then
+// truncated: clear drops every per-run phase-name string (a bare truncation
+// would keep them reachable across thousands of served runs), while keeping
+// the backing array lets the next phase's record append without allocating —
+// the array's footprint stays bounded by the longest single run's phase
+// count, entries zeroed.
 func (n *Network) ResetMetrics() {
 	n.total = Metrics{}
-	n.phases = nil
+	clear(n.phases)
+	n.phases = n.phases[:0]
 }
 
 // Reset returns a constructed network to its as-new protocol-visible state,
@@ -420,7 +432,10 @@ func (n *Network) RunParallel(name string, procs []Proc, maxRounds int64, worker
 	if len(procs) != n.N() {
 		return Metrics{}, fmt.Errorf("congest: phase %q has %d procs for %d nodes", name, len(procs), n.N())
 	}
-	return n.RunNodesParallel(name, procTable(procs), maxRounds, workers)
+	// The table rides in its own parameter rather than boxed as a NodeProc:
+	// interface-boxing a slice header heap-allocates, and this is a per-phase
+	// path (one of the two allocations a served phase used to make).
+	return n.runPhase(name, nil, procs, maxRounds, workers)
 }
 
 // RunNodes executes one protocol phase driven by a single shared state
@@ -432,18 +447,24 @@ func (n *Network) RunNodes(name string, p NodeProc, maxRounds int64) (Metrics, e
 }
 
 // RunNodesParallel is RunNodes with an explicit worker count for this phase,
-// overriding the network-level SetWorkers setting. This is the engine's one
-// true phase driver; every other Run* entry point funnels here.
+// overriding the network-level SetWorkers setting.
 func (n *Network) RunNodesParallel(name string, p NodeProc, maxRounds int64, workers int) (Metrics, error) {
 	if p == nil && n.N() > 0 {
 		return Metrics{}, fmt.Errorf("congest: phase %q has a nil NodeProc for %d nodes", name, n.N())
 	}
+	return n.runPhase(name, p, nil, maxRounds, workers)
+}
+
+// runPhase is the engine's one true phase driver; every Run* entry point
+// funnels here. Exactly one of p and table is set: table is the []Proc form
+// passed unboxed (see RunParallel).
+func (n *Network) runPhase(name string, p NodeProc, table procTable, maxRounds int64, workers int) (Metrics, error) {
 	if n.running {
 		return Metrics{}, fmt.Errorf("congest: phase %q started while another phase is running on this network", name)
 	}
 	n.running = true
 	defer func() { n.running = false }()
-	st := newRunState(n, p, workers)
+	st := newRunState(n, p, table, workers)
 	defer st.close()
 	// Advance the network clock past every stamp this phase can have
 	// written, even on a budget failure or a protocol panic: the next
@@ -469,40 +490,60 @@ func (n *Network) record(name string, cost Metrics) {
 
 // engineBuffers is the network-lifetime flat storage of the engine: the
 // flipping 2m-slot delivery buffers plus the per-node scheduling and Recv
-// state. Allocated once (first Run) and reused by every subsequent phase —
-// the global round clock guarantees stale stamps can never match, so phases
-// need no clearing. Construction is allocation only, no initialization
-// pass: the clock starts at clockBase, so the zero value every fresh array
-// carries already means "never written" to each occupancy test. At
-// n = 10^6 the old init loops (static Port prefill + stamp sentinels) were
-// hundreds of MB of first-touch writes — the dominant setup cost; now a
-// page is faulted in by the first round that actually uses it. See
-// README.md "Memory layout".
+// state, laid out structure-of-arrays. Allocated once (first Run) and
+// reused by every subsequent phase — the global round clock guarantees
+// stale stamps can never match, so phases need no clearing. Construction is
+// allocation only, no initialization pass: the clock starts at clockBase,
+// so the zero value every fresh array carries already means "never written"
+// to each occupancy test. At n = 10^6 the old init loops (static Port
+// prefill + stamp sentinels) were hundreds of MB of first-touch writes —
+// the dominant setup cost; now a page is faulted in by the first round that
+// actually uses it. See README.md "Memory layout".
+//
+// The slot arrays cost 72 B per slot resident (2 x 32 B Message + 2 x 4 B
+// stamp); the arrival port is not stored per slot per round — it is a
+// static property of the slot geometry (Network.slotPort), derived by the
+// read paths that report it. The compacted Recv view (40 B/slot) is lazy:
+// protocols on the zero-copy primitives (ForRecv/RecvOn) never allocate it.
 type engineBuffers struct {
 	// Rank-indexed delivery slots (see NewNetwork): slot s in node v's CSR
 	// range holds the message from v's (s-RowStart[v])-th smallest-index
-	// neighbor. cur* is what Recv reads this round; next* is what Send
-	// writes. Slots are full Incoming values: Send stores the message and
-	// its arrival port (PortRev of the sender's half-edge) in one struct
-	// store, so a fully occupied range can be handed to the protocol as-is.
-	// A slot is occupied iff its stamp equals the round it was sent in:
-	// curStamp[s] == round-1 (sent last round), nextStamp[s] == round.
-	curInc    []Incoming
-	nextInc   []Incoming
-	curStamp  []int64
-	nextStamp []int64
-	// wake*[v] stamps the last round in which some sender targeted v; the
-	// scheduler's "has incoming messages" test is wakeCur[v] == round-1.
-	wakeCur  []int64
-	wakeNext []int64
-	// recvBuf holds compacted Recv views (per-node CSR ranges) for rounds
-	// in which only some of a node's slots are occupied; recvLen[v] is the
-	// view length, or -1 when the view aliases curInc directly, and
-	// recvRound[v] tags the round the view is valid for.
-	recvBuf   []Incoming
-	recvLen   []int32
-	recvRound []int64
-	active    []bool
+	// neighbor. cur* is what receives read this round; next* is what Send
+	// writes. A slot is occupied iff its stamp equals the epoch-relative
+	// round it was sent in: curStamp[s] == snow-1 (sent last round),
+	// nextStamp[s] == snow, where snow = round - epoch fits int32 by the
+	// renormStamps pass (see runState.renormStamps).
+	curMsg    []Message
+	nextMsg   []Message
+	curStamp  []int32
+	nextStamp []int32
+	// wake*[v] stamps the last epoch-relative round in which some sender
+	// targeted v; the scheduler's "has incoming messages" test is
+	// wakeCur[v] == snow-1.
+	wakeCur  []int32
+	wakeNext []int32
+	// recvBuf holds compacted Recv views (per-node CSR ranges): the
+	// synthesized Incoming{Port, Msg} values for the slots occupied this
+	// round. recvLen[v] is the view length and recvRound[v] tags the
+	// epoch-relative round the view is valid for. The buffer is allocated
+	// on the first Recv call that needs it (recvView), never up front:
+	// protocols on ForRecv/RecvOn — all of them since PR 3 — keep it nil
+	// and never pay its 40 B/slot.
+	recvBufReady atomic.Bool
+	recvBufMu    sync.Mutex
+	recvBuf      []Incoming
+	recvLen      []int32
+	recvRound    []int32
+	// msgBuf is RecvMsgs' counterpart to recvBuf: per-node ranges of bare
+	// compacted messages, for the sparse case only — a fully occupied range
+	// is returned as an alias of the curMsg slots themselves, zero copies.
+	// Same lazy discipline: nil until the first sparse RecvMsgs call, so
+	// full-broadcast protocols never allocate it (32 B/slot when they do).
+	msgBufReady atomic.Bool
+	msgBufMu    sync.Mutex
+	msgBuf      []Message
+	active      []bool
+	slots       int
 }
 
 func newEngineBuffers(n *Network) *engineBuffers {
@@ -511,51 +552,143 @@ func newEngineBuffers(n *Network) *engineBuffers {
 	// equal a real round (the clock starts at clockBase >= 2), and slot
 	// contents are only read behind a matching stamp.
 	return &engineBuffers{
-		curInc:    make([]Incoming, slots),
-		nextInc:   make([]Incoming, slots),
-		curStamp:  make([]int64, slots),
-		nextStamp: make([]int64, slots),
-		wakeCur:   make([]int64, nodes),
-		wakeNext:  make([]int64, nodes),
-		recvBuf:   make([]Incoming, slots),
+		curMsg:    make([]Message, slots),
+		nextMsg:   make([]Message, slots),
+		curStamp:  make([]int32, slots),
+		nextStamp: make([]int32, slots),
+		wakeCur:   make([]int32, nodes),
+		wakeNext:  make([]int32, nodes),
 		recvLen:   make([]int32, nodes),
-		recvRound: make([]int64, nodes),
+		recvRound: make([]int32, nodes),
 		active:    make([]bool, nodes),
+		slots:     slots,
 	}
 }
 
-// debugPoisonRecv, when set by a test, overwrites the whole Recv view buffer
-// with poisoned entries at every round flip. A protocol that illegally
-// retains a Recv slice across rounds then observes Port == -1 / Kind ==
-// poisonKind instead of silently stale data. Too costly to leave on outside
-// tests.
+// recvView returns the compacted-Recv backing buffer, allocating it on
+// first use. A hand-rolled sync.Once (flag + mutex) rather than the real
+// one so the allocated fast path is a single atomic load with no closure:
+// concurrent first calls from parallel workers are safe (each worker then
+// writes only its own nodes' disjoint CSR ranges, like every other
+// per-node buffer), and the atomic store/load pair publishes the slice
+// header to later readers.
+func (b *engineBuffers) recvView() []Incoming {
+	if b.recvBufReady.Load() {
+		return b.recvBuf
+	}
+	b.recvBufMu.Lock()
+	defer b.recvBufMu.Unlock()
+	if !b.recvBufReady.Load() {
+		b.recvBuf = make([]Incoming, b.slots)
+		b.recvBufReady.Store(true)
+	}
+	return b.recvBuf
+}
+
+// msgView returns the compacted-RecvMsgs backing buffer, allocating it on
+// first use, with the same hand-rolled once recvView uses and for the same
+// reasons (single atomic load on the hot path, no closure, disjoint
+// per-node ranges after publication).
+func (b *engineBuffers) msgView() []Message {
+	if b.msgBufReady.Load() {
+		return b.msgBuf
+	}
+	b.msgBufMu.Lock()
+	defer b.msgBufMu.Unlock()
+	if !b.msgBufReady.Load() {
+		b.msgBuf = make([]Message, b.slots)
+		b.msgBufReady.Store(true)
+	}
+	return b.msgBuf
+}
+
+// debugPoisonRecv, when set by a test, poisons the expired side of the SoA
+// delivery state at every round flip: the whole Recv view buffer (if it was
+// ever allocated — the lazy recvBuf stays nil, and therefore unpoisonable
+// and unretainable, until a compacting Recv call exists), every message in
+// the retired slot buffer, and the retired slot stamps (zeroed — 0 is the
+// permanent "never written" sentinel, so a stamp bug that skips an
+// occupancy test reads poisoned messages instead of plausible stale ones).
+// A protocol that illegally retains a Recv slice across rounds then
+// observes Port == -1 / Kind == poisonKind instead of silently stale data.
+// Too costly to leave on outside tests.
 var debugPoisonRecv = false
 
 // poisonKind marks a poisoned Recv entry (debugPoisonRecv).
 const poisonKind int32 = -0x7011
 
 // runState is the per-phase simulation state: a window of the network's
-// persistent engine buffers plus this phase's round counters and pool.
+// persistent engine buffers plus this phase's round counters and pool. The
+// struct itself is recycled across phases (Network.rs) — rewritten
+// wholesale at phase start — so starting a phase allocates nothing but what
+// the phase's engine needs (a pool and per-worker Ctxs, parallel only).
 type runState struct {
 	net         *Network
 	proc        NodeProc
 	table       procTable // non-nil when proc is the []Proc adapter: unwrapped once so the legacy form pays one dynamic dispatch per node, not two
 	base        int64     // network clock at phase start; the protocol-visible round is round-base
 	round       int64     // global round number, monotone across phases
+	snow        int32     // epoch-relative round: int32(round - net.epoch), the value every buffer stamp encodes; renormStamps keeps it < stampRenormThreshold
 	started     bool
 	inFlight    int64
 	activeCount int64 // nodes whose last Step returned active (summed per shard)
 	workers     int         // goroutines stepping nodes; <= 1 means sequential
 	fault       *faultState // the network's compiled scenario at phase start; nil = fault-free
 	pool        *pool       // persistent worker pool; nil until first parallel step
-	stepJob     job     // hoisted step-wave closure (no per-round allocation)
-	scanJob     job     // hoisted wake-scan-wave closure
-	stepBounds  []int32 // sender-weighted edge-balanced shard boundaries (shard.go)
-	slotBounds  []int32 // receiver-slot-weighted boundaries for the wake scan
+	stepJob     job         // hoisted step-wave closure (no per-round allocation)
+	scanJob     job         // hoisted wake-scan-wave closure
+	stepBounds  []int32     // sender-weighted edge-balanced shard boundaries (shard.go)
+	slotBounds  []int32     // receiver-slot-weighted boundaries for the wake scan
+	shardCtxs   []*shardCtx // per-worker Ctx + send counter, built once per parallel phase (ensurePool)
+	seqSent     int64       // the sequential engine's per-round message counter (hoisted: a per-round local escapes through the Ctx)
+	seqCtx      Ctx         // the sequential engine's one Ctx, reused every round of the phase
 	*engineBuffers
 }
 
-func newRunState(n *Network, p NodeProc, workers int) *runState {
+// stampRenormThreshold is the epoch-relative round at which the engine
+// renormalizes every buffer stamp back toward clockBase (renormStamps),
+// keeping the int32 stamps from ever wrapping. A few rounds of headroom
+// below MaxInt32 cover the +2 clock advance at phase end. A variable, not a
+// const, so the epoch-renormalization test can force the boundary on a tiny
+// network instead of executing 2^31 rounds.
+var stampRenormThreshold = int32(math.MaxInt32 - 8)
+
+// renormStamps rebases every live stamp by delta = snow - clockBase, so the
+// current round's stamp value returns to clockBase and the int32 encoding
+// never wraps. Runs on the coordinator at a round boundary — before the
+// step wave, like fault application — so both engines rebase at the same
+// instant and bit-identity holds. The mapping preserves every occupancy
+// test exactly: a live stamp (== snow-1) maps to clockBase-1, and anything
+// older maps to <= 0, clamped to the permanent "never written" 0 — stale
+// stamps were already unable to match any future round, and stay so.
+// O(n + 2m), amortized over ~2^31 rounds: free.
+func (st *runState) renormStamps() {
+	delta := st.snow - clockBase
+	if delta <= 0 {
+		return
+	}
+	rebaseStamps(st.curStamp, delta)
+	rebaseStamps(st.nextStamp, delta)
+	rebaseStamps(st.wakeCur, delta)
+	rebaseStamps(st.wakeNext, delta)
+	rebaseStamps(st.recvRound, delta)
+	st.snow = clockBase
+	st.net.epoch += int64(delta)
+}
+
+func rebaseStamps(a []int32, delta int32) {
+	for i, s := range a {
+		if s <= delta {
+			if s != 0 {
+				a[i] = 0
+			}
+		} else {
+			a[i] = s - delta
+		}
+	}
+}
+
+func newRunState(n *Network, p NodeProc, table procTable, workers int) *runState {
 	nn := n.N()
 	if workers > nn {
 		workers = nn
@@ -566,17 +699,29 @@ func newRunState(n *Network, p NodeProc, workers int) *runState {
 	if n.buf == nil {
 		n.buf = newEngineBuffers(n)
 	}
-	st := &runState{
+	st := n.rs
+	if st == nil {
+		st = new(runState)
+		n.rs = st
+	}
+	*st = runState{
 		net:           n,
 		proc:          p,
+		table:         table,
 		base:          n.clock,
 		round:         n.clock,
+		snow:          int32(n.clock - n.epoch),
 		workers:       workers,
 		fault:         n.fault,
 		engineBuffers: n.buf,
 	}
-	if t, ok := p.(procTable); ok {
-		st.table = t
+	st.seqCtx = Ctx{st: st, sent: &st.seqSent}
+	if st.table == nil {
+		// A procTable can still arrive boxed through RunNodesParallel
+		// directly; unwrap it so dispatch pays one dynamic call, not two.
+		if t, ok := p.(procTable); ok {
+			st.table = t
+		}
 	}
 	return st
 }
@@ -630,7 +775,7 @@ func (st *runState) quiescent() bool {
 // scheduled reports whether node v runs this round: every node at the
 // phase's first round, then active nodes and nodes with deliveries.
 func (st *runState) scheduled(v int) bool {
-	return st.active[v] || st.round == st.base || st.wakeCur[v] == st.round-1
+	return st.active[v] || st.round == st.base || st.wakeCur[v] == st.snow-1
 }
 
 // flip ends a round: messages written this round become next round's
@@ -638,13 +783,26 @@ func (st *runState) scheduled(v int) bool {
 // old, so they can never match a future occupancy test — no clearing.
 func (st *runState) flip() {
 	b := st.engineBuffers
-	b.curInc, b.nextInc = b.nextInc, b.curInc
+	b.curMsg, b.nextMsg = b.nextMsg, b.curMsg
 	b.curStamp, b.nextStamp = b.nextStamp, b.curStamp
 	b.wakeCur, b.wakeNext = b.wakeNext, b.wakeCur
 	if debugPoisonRecv {
+		// Poison the expired state: any retained Recv view (recvBuf, when
+		// it exists), plus the retired slot buffer — its messages read as
+		// poison and its stamps as never-written, so a read path that
+		// dodges an occupancy test cannot see plausible stale data. The
+		// zeroed stamps are semantically invisible: stale stamps and 0 both
+		// fail every occupancy and double-send test.
 		for i := range b.recvBuf {
 			b.recvBuf[i] = Incoming{Port: -1, Msg: Message{Kind: poisonKind}}
 		}
+		for i := range b.msgBuf {
+			b.msgBuf[i] = Message{Kind: poisonKind}
+		}
+		for i := range b.nextMsg {
+			b.nextMsg[i] = Message{Kind: poisonKind}
+		}
+		clear(b.nextStamp)
 	}
 }
 
@@ -654,12 +812,15 @@ func (st *runState) step() int64 {
 		return st.stepParallel()
 	}
 	st.started = true
+	if st.snow >= stampRenormThreshold {
+		st.renormStamps()
+	}
 	st.applyFaults()
-	var sent int64
-	ctx := Ctx{st: st, sent: &sent}
-	st.activeCount = st.stepRange(&ctx, 0, st.net.N())
+	st.seqSent = 0
+	st.activeCount = st.stepRange(&st.seqCtx, 0, st.net.N())
 	st.flip()
-	st.inFlight = sent
+	st.inFlight = st.seqSent
 	st.round++
-	return sent
+	st.snow++
+	return st.inFlight
 }

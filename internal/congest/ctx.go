@@ -41,58 +41,111 @@ func (c *Ctx) Rand() *rand.Rand { return c.st.net.rng(c.v) }
 // message per round, so that order is well defined — and it is the order
 // the delivery slots are laid out in, so no reordering happens here).
 //
-// The slice aliases engine-owned slot storage and is strictly read-only:
-// writing to it (including sorting it in place) corrupts the engine's
-// delivery geometry for every later round. It is also reused and
-// overwritten from the next round's buffer flip onward, so it is valid
-// only until this Step returns. A protocol that needs to reorder messages
-// or keep one beyond the current round must copy the Incoming values into
-// its own state.
+// The slice aliases engine-owned view storage and is strictly read-only.
+// It is reused and overwritten from the next round's buffer flip onward,
+// so it is valid only until this Step returns. A protocol that needs to
+// reorder messages or keep one beyond the current round must copy the
+// Incoming values into its own state.
 // Retention bugs are latent — the stale data often looks plausible — so
 // tests can set debugPoisonRecv to make every expired view read as poison
 // (see TestRecvRetainedAcrossRoundsIsPoisoned).
 //
-// The view is built at most once per round. When every slot in the node's
-// range is occupied (broadcast traffic, the hot case) the view is the slot
-// range itself — zero copies; otherwise the occupied slots are compacted
-// into a per-node scratch range. Either way: no allocation.
+// The view is built at most once per round, by compacting the occupied
+// slots into a per-node range of the network's view buffer: slots store
+// bare 32-byte Messages, so the Incoming{Port, Msg} values a view reports
+// are synthesized here, with each slot's arrival port read from the static
+// slot geometry (slotPort). The view buffer itself is allocated on the
+// first Recv call that needs it — protocols on the zero-copy primitives
+// (ForRecv, RecvOn) never pay its 40 B/slot at all. After that: no
+// allocation, ever.
 func (c *Ctx) Recv() []Incoming {
 	st := c.st
 	b := st.engineBuffers
 	v := c.v
 	lo := st.net.csr.RowStart[v]
-	if b.recvRound[v] != st.round {
-		b.recvRound[v] = st.round
+	if b.recvRound[v] != st.snow {
+		b.recvRound[v] = st.snow
 		n := int32(0)
-		if b.wakeCur[v] == st.round-1 {
+		if b.wakeCur[v] == st.snow-1 {
 			hi := st.net.csr.RowStart[v+1]
-			sentAt := st.round - 1
+			sentAt := st.snow - 1
 			stamps := b.curStamp[lo:hi]
-			occupied := 0
-			for _, s := range stamps {
-				if s == sentAt {
-					occupied++
-				}
-			}
-			if occupied == len(stamps) && !debugPoisonRecv {
-				n = -1 // full range: alias the slots directly
-			} else {
-				inc := b.curInc[lo:hi]
-				recv := b.recvBuf[lo:hi]
-				for s := range stamps {
-					if stamps[s] == sentAt {
-						recv[n] = inc[s]
-						n++
-					}
+			msgs := b.curMsg[lo:hi]
+			ports := st.net.slotPort[lo:hi]
+			recv := b.recvView()[lo:hi]
+			for s := range stamps {
+				if stamps[s] == sentAt {
+					recv[n] = Incoming{Port: int(ports[s]), Msg: msgs[s]}
+					n++
 				}
 			}
 		}
 		b.recvLen[v] = n
 	}
-	if n := b.recvLen[v]; n >= 0 {
+	if n := b.recvLen[v]; n > 0 {
 		return b.recvBuf[lo : lo+n]
 	}
-	return b.curInc[lo:st.net.csr.RowStart[v+1]]
+	// An empty view never touches recvBuf, which may still be nil.
+	return nil
+}
+
+// RecvMsgs returns the bare messages delivered this round, in the same
+// ascending sender-index order Recv reports, without arrival ports. It is
+// the bulk-read primitive for aggregation protocols (min/max/sum floods,
+// broadcast storms) that fold every delivery symmetrically and never ask
+// which port a message came from — the hottest read pattern in the paper's
+// algorithms.
+//
+// Dropping the ports is what makes it cheap: when every slot in the node's
+// range is occupied (broadcast traffic) the returned slice IS the slot
+// range — zero copies, no view synthesis — which Recv can never do, since
+// its Incoming views interleave a port the slots deliberately don't store.
+// Sparse rounds compact the occupied slots' messages (32 B each, no port
+// lookup) into a per-network scratch buffer allocated on the first sparse
+// call and never before. The view is rebuilt on every call, so call it
+// once per round and range over the result.
+//
+// The slice aliases engine-owned storage either way: read-only, valid only
+// until this Step returns, same retention contract (and debugPoisonRecv
+// teeth) as Recv.
+func (c *Ctx) RecvMsgs() []Message {
+	st := c.st
+	b := st.engineBuffers
+	v := c.v
+	if b.wakeCur[v] != st.snow-1 {
+		return nil
+	}
+	rs := st.net.csr.RowStart
+	lo, hi := rs[v], rs[v+1]
+	sentAt := st.snow - 1
+	stamps := b.curStamp[lo:hi]
+	occupied := 0
+	for _, s := range stamps {
+		if s == sentAt {
+			occupied++
+		}
+	}
+	msgs := b.curMsg[lo:hi]
+	if occupied == len(stamps) {
+		// Full range: the slots themselves, in slot order, are the answer.
+		// Retention is still caught under debugPoisonRecv — the buffer this
+		// aliases is retired at the flip and poisoned wholesale there.
+		return msgs
+	}
+	if occupied == 0 {
+		// Awake but nothing delivered (a scenario destroyed the in-flight
+		// message): never allocate the scratch for an empty view.
+		return nil
+	}
+	dst := b.msgView()[lo:hi]
+	n := 0
+	for s := range stamps {
+		if stamps[s] == sentAt {
+			dst[n] = msgs[s]
+			n++
+		}
+	}
+	return dst[:n]
 }
 
 // RecvOn returns the message delivered on port p this round, if any. It is
@@ -114,10 +167,11 @@ func (c *Ctx) RecvOn(p int) (Incoming, bool) {
 	}
 	slot := st.net.portSlot[h]
 	b := st.engineBuffers
-	if b.curStamp[slot] != st.round-1 {
+	if b.curStamp[slot] != st.snow-1 {
 		return Incoming{}, false
 	}
-	return b.curInc[slot], true
+	// The arrival port of the slot behind port p is p itself — no lookup.
+	return Incoming{Port: p, Msg: b.curMsg[slot]}, true
 }
 
 // ForRecv invokes f for every message delivered this round, in the same
@@ -135,17 +189,18 @@ func (c *Ctx) ForRecv(f func(rank int, in Incoming)) {
 	st := c.st
 	b := st.engineBuffers
 	v := c.v
-	if b.wakeCur[v] != st.round-1 {
+	if b.wakeCur[v] != st.snow-1 {
 		return
 	}
 	rs := st.net.csr.RowStart
 	lo, hi := rs[v], rs[v+1]
-	sentAt := st.round - 1
+	sentAt := st.snow - 1
 	stamps := b.curStamp[lo:hi]
-	inc := b.curInc[lo:hi]
+	msgs := b.curMsg[lo:hi]
+	ports := st.net.slotPort[lo:hi]
 	for k := range stamps {
 		if stamps[k] == sentAt {
-			f(k, inc[k])
+			f(k, Incoming{Port: int(ports[k]), Msg: msgs[k]})
 		}
 	}
 }
@@ -175,24 +230,22 @@ func (c *Ctx) Send(p int, m Message) {
 	}
 	slot := st.net.destSlot[h]
 	b := st.engineBuffers
-	if b.nextStamp[slot] == st.round {
+	if b.nextStamp[slot] == st.snow {
 		panic(fmt.Sprintf("congest: node %d sent twice on port %d in round %d", c.v, p, st.round-st.base))
 	}
-	b.nextStamp[slot] = st.round
-	// The arrival port (the receiver-side port of this edge) travels with
-	// the message, written as two field stores into the slot (a struct
-	// literal here compiles to a measurably slower temp + copy on the
-	// scattered store). Slots therefore need no static Port prefill — which
-	// at n = 10^6 was a 320 MB first-touch pass before any round ran.
-	inc := &b.nextInc[slot]
-	inc.Port = int(csr.PortRev[h])
-	inc.Msg = m
+	b.nextStamp[slot] = st.snow
+	// The slot stores only the 32-byte message: the arrival port is a
+	// static property of the slot (Network.slotPort), derived by the read
+	// side, so a delivered message moves 36 bytes (message + int32 stamp)
+	// instead of the packed-Incoming layout's 48. No Port prefill either —
+	// which at n = 10^6 was a 320 MB first-touch pass before any round ran.
+	b.nextMsg[slot] = m
 	if st.workers <= 1 {
 		// The parallel engine derives wake stamps in a second sharded
 		// wave after stepping (scanShard) instead: concurrent senders may
 		// share a receiver, and wakeNext[to] must have one writer at a
 		// time — receiver-sharding the scan gives it exactly one.
-		b.wakeNext[csr.PortTo[h]] = st.round
+		b.wakeNext[csr.PortTo[h]] = st.snow
 	}
 	*c.sent++
 }
@@ -205,7 +258,7 @@ func (c *Ctx) CanSend(p int) bool {
 	if p < 0 || h >= hi {
 		panic(fmt.Sprintf("congest: node %d has no port %d (degree %d)", c.v, p, hi-lo))
 	}
-	return c.st.nextStamp[c.st.net.destSlot[h]] != c.st.round
+	return c.st.nextStamp[c.st.net.destSlot[h]] != c.st.snow
 }
 
 // PortDown reports whether port p's edge is dead under the network's fault
@@ -238,24 +291,21 @@ func (c *Ctx) Broadcast(m Message) {
 	csr := &st.net.csr
 	lo, hi := csr.RowStart[c.v], csr.RowStart[c.v+1]
 	dest := st.net.destSlot[lo:hi]
-	rev := csr.PortRev[lo:hi]
 	b := st.engineBuffers
-	round := st.round
+	snow := st.snow
 	sequential := st.workers <= 1
 	fault := st.fault
 	for i, slot := range dest {
 		if fault != nil && fault.portDead[lo+int32(i)] {
 			continue // counted below, dropped here — same as Send on a dead port
 		}
-		if b.nextStamp[slot] == round {
-			panic(fmt.Sprintf("congest: node %d sent twice on port %d in round %d", c.v, i, round-st.base))
+		if b.nextStamp[slot] == snow {
+			panic(fmt.Sprintf("congest: node %d sent twice on port %d in round %d", c.v, i, st.round-st.base))
 		}
-		b.nextStamp[slot] = round
-		inc := &b.nextInc[slot]
-		inc.Port = int(rev[i])
-		inc.Msg = m
+		b.nextStamp[slot] = snow
+		b.nextMsg[slot] = m
 		if sequential {
-			b.wakeNext[csr.PortTo[lo+int32(i)]] = round
+			b.wakeNext[csr.PortTo[lo+int32(i)]] = snow
 		}
 	}
 	*c.sent += int64(hi - lo)

@@ -25,10 +25,16 @@
 // (README.md "Memory layout"): the model allows at most one message per
 // incident edge per round, so delivery is two flipping arrays of 2m
 // fixed-size slots — no per-round allocation, no inbox append, and no
-// cross-engine merge pass, because each slot has exactly one writer.
-// Protocols read deliveries three ways: Ctx.Recv (a read-only view, the
-// aliasing contract in README.md), Ctx.ForRecv (in-place iteration, the
-// zero-copy default), and Ctx.RecvOn (O(1) port-indexed lookup).
+// cross-engine merge pass, because each slot has exactly one writer. A
+// slot holds only the bare 32-byte Message plus an int32 epoch-relative
+// stamp (72 B resident per slot; Network.MemFootprint reports the live
+// breakdown): the arrival port is static slot geometry, derived on read,
+// and stamps rebase at the int32 boundary without protocols noticing
+// (renormStamps). Protocols read deliveries four ways: Ctx.Recv (the full
+// read-only view with ports, the aliasing contract in README.md),
+// Ctx.RecvMsgs (the port-free bulk view — zero-copy under full
+// occupancy), Ctx.ForRecv (in-place iteration, the zero-copy default),
+// and Ctx.RecvOn (O(1) port-indexed lookup).
 //
 // Phase execution is shared-proc (README.md "The shared-proc execution
 // model"): the paper's protocols are uniform, so a phase is one NodeProc —

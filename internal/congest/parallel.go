@@ -152,6 +152,15 @@ func shardBlock(i, k, n int) (lo, hi int) {
 	return i * n / k, (i + 1) * n / k
 }
 
+// shardCtx is one worker's phase-lifetime Ctx and message counter. Each is
+// a separate heap object, padded past a cache line, so two workers' ctx.v
+// and sent stores (written on every node step) never share a line.
+type shardCtx struct {
+	ctx  Ctx
+	sent int64
+	_    [96]byte
+}
+
 func (st *runState) ensurePool() {
 	if st.pool != nil {
 		return
@@ -161,6 +170,15 @@ func (st *runState) ensurePool() {
 	// most (the network caches the plan per worker count; see shard.go).
 	plan := st.net.shardPlan(st.workers)
 	st.stepBounds, st.slotBounds = plan.step, plan.slot
+	// Per-worker Ctxs, hoisted to phase setup: a per-wave Ctx (and its
+	// escaping sent counter) would cost two allocations per worker per
+	// round — the parallel engine's last per-round allocations.
+	st.shardCtxs = make([]*shardCtx, st.workers)
+	for i := range st.shardCtxs {
+		sc := &shardCtx{}
+		sc.ctx = Ctx{st: st, sent: &sc.sent}
+		st.shardCtxs[i] = sc
+	}
 	// The two round waves are hoisted closures: allocating them per round
 	// would put the coordinator back on the per-round allocation budget the
 	// flat engine is designed to keep at zero.
@@ -187,10 +205,10 @@ func (st *runState) close() {
 // worker that also owns an equal count of other nodes.
 func (st *runState) stepShard(i int) (res shardDone) {
 	lo, hi := int(st.stepBounds[i]), int(st.stepBounds[i+1])
-	var sent int64
-	ctx := Ctx{st: st, sent: &sent}
-	res.active = st.stepRange(&ctx, lo, hi)
-	res.sent = sent
+	sc := st.shardCtxs[i]
+	sc.sent = 0
+	res.active = st.stepRange(&sc.ctx, lo, hi)
+	res.sent = sc.sent
 	return res
 }
 
@@ -205,11 +223,11 @@ func (st *runState) stepShard(i int) (res shardDone) {
 func (st *runState) scanShard(i int) {
 	lo, hi := int(st.slotBounds[i]), int(st.slotBounds[i+1])
 	rs := st.net.csr.RowStart
-	round := st.round
+	snow := st.snow
 	for v := lo; v < hi; v++ {
 		for h := rs[v]; h < rs[v+1]; h++ {
-			if st.nextStamp[h] == round {
-				st.wakeNext[v] = round
+			if st.nextStamp[h] == snow {
+				st.wakeNext[v] = snow
 				break
 			}
 		}
@@ -220,10 +238,14 @@ func (st *runState) scanShard(i int) {
 // the number of messages sent.
 func (st *runState) stepParallel() int64 {
 	st.started = true
-	// Faults apply on the coordinator before the step wave starts — the
-	// identical boundary the sequential engine uses — so every worker
-	// observes the same crashed/dead state for the whole round and the
-	// in-flight deliveries a fault destroys are gone on both engines.
+	// Stamp-epoch renormalization and fault application both run on the
+	// coordinator before the step wave starts — the identical boundary the
+	// sequential engine uses — so every worker observes the same stamps
+	// and crashed/dead state for the whole round and the in-flight
+	// deliveries a fault destroys are gone on both engines.
+	if st.snow >= stampRenormThreshold {
+		st.renormStamps()
+	}
 	st.applyFaults()
 	st.ensurePool()
 	sent, active := st.pool.wave(st.stepJob)
@@ -240,6 +262,7 @@ func (st *runState) stepParallel() int64 {
 	st.flip()
 	st.inFlight = sent
 	st.round++
+	st.snow++
 	return sent
 }
 
@@ -314,6 +337,7 @@ func (n *Network) fillGeometryParallel(workers int) {
 				row[v]++
 				n.destSlot[h] = slot
 				n.portSlot[rs[v]+n.csr.PortRev[h]] = slot
+				n.slotPort[slot] = n.csr.PortRev[h]
 			}
 		}
 		return shardDone{}

@@ -198,9 +198,11 @@ func benchProcs(net *Network, n int, rounds int64) []Proc {
 		v := v
 		minHeard[v] = net.ID(v)
 		procs[v] = ProcFunc(func(ctx *Ctx) bool {
-			for _, in := range ctx.Recv() {
-				if in.Msg.A < minHeard[v] {
-					minHeard[v] = in.Msg.A
+			// Port-free aggregation: RecvMsgs is the fit primitive (under
+			// full broadcast load it aliases the slot range outright).
+			for _, m := range ctx.RecvMsgs() {
+				if m.A < minHeard[v] {
+					minHeard[v] = m.A
 				}
 			}
 			if ctx.Round() < rounds {

@@ -59,6 +59,180 @@ func TestRecvRetainedAcrossRoundsIsPoisoned(t *testing.T) {
 	}
 }
 
+// TestRecvMsgsRetainedAcrossRoundsIsPoisoned extends the retention contract
+// to RecvMsgs on both of its paths. The full-occupancy path returns an alias
+// of the slot buffer itself, which is retired and poisoned wholesale at the
+// flip; the sparse path compacts into the lazy msgBuf, which the flip
+// poisons like the Recv view buffer. Either way a retained slice must read
+// poisonKind one round later.
+func TestRecvMsgsRetainedAcrossRoundsIsPoisoned(t *testing.T) {
+	debugPoisonRecv = true
+	defer func() { debugPoisonRecv = false }()
+
+	// Path(3): node 0 sends to the middle node every round, node 2 stays
+	// silent. The middle node's degree-2 range is therefore sparse (1 of 2
+	// slots) — the compaction path — while node 0's own degree-1 range is
+	// full whenever the middle node replies — the alias path.
+	g := graph.Path(3)
+	net := NewNetwork(g, 1)
+	var aliasView, sparseView []Message
+	checked := 0
+	procs := []Proc{
+		// Node 0: sends rounds 0-1, retains its (full-range, aliased)
+		// round-1 view of the middle node's replies.
+		ProcFunc(func(ctx *Ctx) bool {
+			switch ctx.Round() {
+			case 1:
+				aliasView = ctx.RecvMsgs()
+				if len(aliasView) != 1 || aliasView[0].A != 100 {
+					t.Errorf("round 1 node 0 RecvMsgs = %+v, want one message with A=100", aliasView)
+				}
+			case 2:
+				checked++
+				if aliasView[0].Kind != poisonKind {
+					t.Errorf("retained full-range RecvMsgs alias still reads %+v after the flip; want poison", aliasView[0])
+				}
+			}
+			if ctx.Round() < 2 {
+				ctx.Send(0, Message{A: 7})
+				return true
+			}
+			return false
+		}),
+		// Middle node: replies to node 0, retains its (sparse, compacted)
+		// round-1 view of node 0's sends.
+		ProcFunc(func(ctx *Ctx) bool {
+			switch ctx.Round() {
+			case 1:
+				sparseView = ctx.RecvMsgs()
+				if len(sparseView) != 1 || sparseView[0].A != 7 {
+					t.Errorf("round 1 middle RecvMsgs = %+v, want one message with A=7", sparseView)
+				}
+			case 2:
+				checked++
+				if sparseView[0].Kind != poisonKind {
+					t.Errorf("retained sparse RecvMsgs view still reads %+v after the flip; want poison", sparseView[0])
+				}
+			}
+			if ctx.Round() < 2 {
+				ctx.Send(0, Message{A: 100}) // port 0 leads back to node 0
+				return true
+			}
+			return false
+		}),
+		ProcFunc(func(ctx *Ctx) bool { return false }),
+	}
+	if _, err := net.Run("msgs-retain", procs, 10); err != nil {
+		t.Fatal(err)
+	}
+	if checked != 2 {
+		t.Fatalf("%d of 2 retention checks ran", checked)
+	}
+	// The sparse path above is what forces the lazy msgBuf into existence;
+	// the compacting Recv buffer was never needed.
+	if net.buf.msgBuf == nil {
+		t.Error("sparse RecvMsgs did not allocate msgBuf")
+	}
+	if net.buf.recvBuf != nil {
+		t.Error("recvBuf allocated though no Recv call ever compacted")
+	}
+}
+
+// TestLazyViewBufferAllocation pins the allocation schedule of the two lazy
+// view buffers, and the MemFootprint numbers that make it observable:
+// ForRecv-only and full-broadcast RecvMsgs protocols stay at the 72 B/slot
+// SoA floor forever; the first sparse RecvMsgs adds the 32 B/slot message
+// scratch; the first compacting Recv adds the 40 B/slot Incoming view.
+func TestLazyViewBufferAllocation(t *testing.T) {
+	g := graph.Torus(3, 3) // 9 nodes, degree 4, 36 slots
+	net := NewNetwork(g, 2)
+
+	// Phase 1: full broadcast storm read via ForRecv — no view buffer.
+	storm := NodeProcFunc(func(ctx *Ctx, v int) bool {
+		ctx.ForRecv(func(int, Incoming) {})
+		if ctx.Round() < 3 {
+			ctx.Broadcast(Message{A: int64(v)})
+			return true
+		}
+		return false
+	})
+	if _, err := net.RunNodes("forrecv", storm, 10); err != nil {
+		t.Fatal(err)
+	}
+	if net.buf.recvBuf != nil || net.buf.msgBuf != nil {
+		t.Fatal("ForRecv-only phase allocated a view buffer")
+	}
+	if got := net.MemFootprint().BytesPerSlot(); got != 72 {
+		t.Fatalf("BytesPerSlot = %v after ForRecv-only traffic, want 72", got)
+	}
+
+	// Phase 2: the same storm read via RecvMsgs — full occupancy aliases
+	// the slot buffer, so still no view buffer.
+	aliasStorm := NodeProcFunc(func(ctx *Ctx, v int) bool {
+		for range ctx.RecvMsgs() {
+		}
+		if ctx.Round() < 3 {
+			ctx.Broadcast(Message{A: int64(v)})
+			return true
+		}
+		return false
+	})
+	if _, err := net.RunNodes("msgs-full", aliasStorm, 10); err != nil {
+		t.Fatal(err)
+	}
+	if net.buf.recvBuf != nil || net.buf.msgBuf != nil {
+		t.Fatal("full-occupancy RecvMsgs allocated a view buffer")
+	}
+
+	// Phase 3: sparse traffic (only node 0 broadcasts) read via RecvMsgs —
+	// receivers with degree > 1 compact, forcing msgBuf, and only msgBuf.
+	sparse := NodeProcFunc(func(ctx *Ctx, v int) bool {
+		for range ctx.RecvMsgs() {
+		}
+		if v == 0 && ctx.Round() < 2 {
+			ctx.Broadcast(Message{A: 1})
+			return true
+		}
+		return false
+	})
+	if _, err := net.RunNodes("msgs-sparse", sparse, 10); err != nil {
+		t.Fatal(err)
+	}
+	if net.buf.msgBuf == nil {
+		t.Fatal("sparse RecvMsgs did not allocate msgBuf")
+	}
+	if net.buf.recvBuf != nil {
+		t.Fatal("sparse RecvMsgs allocated the Recv view buffer")
+	}
+	if got := net.MemFootprint().BytesPerSlot(); got != 72+32 {
+		t.Fatalf("BytesPerSlot = %v after sparse RecvMsgs, want 104", got)
+	}
+
+	// Phase 4: a compacting Recv call — the Incoming view appears.
+	recv := NodeProcFunc(func(ctx *Ctx, v int) bool {
+		for range ctx.Recv() {
+		}
+		if v == 0 && ctx.Round() < 2 {
+			ctx.Broadcast(Message{A: 1})
+			return true
+		}
+		return false
+	})
+	if _, err := net.RunNodes("recv", recv, 10); err != nil {
+		t.Fatal(err)
+	}
+	if net.buf.recvBuf == nil {
+		t.Fatal("compacting Recv did not allocate recvBuf")
+	}
+	if got := net.MemFootprint().BytesPerSlot(); got != 72+32+40 {
+		t.Fatalf("BytesPerSlot = %v after compacting Recv, want 144", got)
+	}
+	fp := net.MemFootprint()
+	if fp.Slots != 36 || fp.Total() <= fp.SlotBytes {
+		t.Fatalf("MemFootprint breakdown inconsistent: %+v", fp)
+	}
+}
+
 // TestRecvCopySurvivesRounds documents the correct pattern: copying the
 // Incoming values out of the view keeps them stable across rounds.
 func TestRecvCopySurvivesRounds(t *testing.T) {

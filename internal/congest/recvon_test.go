@@ -44,6 +44,17 @@ func TestForRecvMatchesRecv(t *testing.T) {
 					t.Fatalf("node %d round %d: message %d differs: Recv %+v, ForRecv %+v", v, ctx.Round(), i, view[i], fromFor[i])
 				}
 			}
+			// RecvMsgs must be exactly the view's message column: same
+			// count, same ascending sender-index order, ports dropped.
+			msgs := ctx.RecvMsgs()
+			if len(msgs) != len(view) {
+				t.Fatalf("node %d round %d: RecvMsgs saw %d messages, Recv %d", v, ctx.Round(), len(msgs), len(view))
+			}
+			for i := range view {
+				if msgs[i] != view[i].Msg {
+					t.Fatalf("node %d round %d: message %d differs: Recv %+v, RecvMsgs %+v", v, ctx.Round(), i, view[i].Msg, msgs[i])
+				}
+			}
 			// RecvOn must report exactly the view's ports, nothing else.
 			seen := make(map[int]Incoming, len(view))
 			for _, in := range view {
