@@ -8,7 +8,7 @@ GO ?= go
 # PR number stamped into benchmark snapshots (BENCH_$(PR).json), and the
 # provenance note recorded inside; override both per perf PR, e.g.
 #   make bench PR=5 BENCH_NOTE="batched wake scan; vs BENCH_2: ..."
-PR ?= 9
+PR ?= 10
 BENCH_NOTE ?= engine benchmark snapshot (PR $(PR)); compare against the previous BENCH_<n>.json via benchstat
 
 build:
@@ -73,8 +73,11 @@ bench-smoke:
 # benchstat comparison of two committed benchmark snapshots (nightly CI
 # appends the output to its job summary for the perf trajectory). Falls
 # back to naming the raw snapshots when jq/benchstat are unavailable.
-BENCH_OLD ?= BENCH_7.json
-BENCH_NEW ?= BENCH_9.json
+# Snapshot ledger note: there is deliberately no BENCH_8.json — PR 8 was
+# robustness-only (fault injection) and changed no perf surface, so the
+# trajectory steps BENCH_7 -> BENCH_9 -> BENCH_10.
+BENCH_OLD ?= BENCH_9.json
+BENCH_NEW ?= BENCH_10.json
 bench-compare:
 	@if ! command -v jq >/dev/null 2>&1; then \
 		echo "bench-compare: jq unavailable; raw snapshots: $(BENCH_OLD) $(BENCH_NEW)"; exit 0; fi; \
@@ -126,6 +129,15 @@ bench-compare:
 			| awk '{for (i=2; i<=NF; i++) if ($$i == "bytes/slot") printf "    %-55s %s bytes/slot\n", $$1, $$(i-1)}' | sort -u; \
 		jq -r '.raw[]' $$f | grep -E 'BenchmarkEngine/family=' | grep -q 'bytes/slot' \
 			|| echo "    (no bytes/slot metric in this snapshot — pre-PR-9 layout: 120 B of Incoming arrays + 16 B of int64 stamps per slot)"; \
+	done; \
+	echo ""; \
+	echo "sparse-activity rounds (BenchmarkEngineSparse; ns/round under frontier drain vs the forced dense scan, at the row's awake fraction):"; \
+	for f in $(BENCH_OLD) $(BENCH_NEW); do \
+		echo "  $$f:"; \
+		jq -r '.raw[]' $$f | grep -E 'BenchmarkEngineSparse/' \
+			| awk '{line = "    " $$1; for (i=2; i<=NF; i++) { if ($$i == "ns/round") line = line sprintf("  %s ns/round", $$(i-1)); if ($$i == "awake%") line = line sprintf("  %s awake%%", $$(i-1)) } print line}' | sort -u; \
+		jq -r '.raw[]' $$f | grep -qE 'BenchmarkEngineSparse/' \
+			|| echo "    (no sparse-rounds rows — sparse execution landed in PR 10; BENCH_9.json and earlier are dense-only baselines)"; \
 	done
 
 # Allocation regression gate (nightly CI): the engine's steady-state round
@@ -135,13 +147,22 @@ bench-compare:
 # BenchmarkEngineSetup). Ceilings carry small headroom over the pinned
 # values (0 / 31 / 52 / 2) so scheduler wobble in the pool rows doesn't
 # flake the gate; a layout or setup regression blows straight past them.
+# The BenchmarkEngineSparse rows extend the gate to sparse execution: a
+# whole multi-thousand-round sequential phase is pinned at literally 0
+# allocs/op (frontier drain, dirty merge, and overflow fallback all run in
+# preallocated state), and the parallel rows stay within the same pool
+# overhead as the dense storm (29 measured, 40 ceiling).
 bench-allocs-check:
-	@$(GO) test -run='^$$' -bench='^BenchmarkEngine$$|^BenchmarkEngineSetup$$' -benchmem -benchtime=5x ./internal/congest/ \
+	@$(GO) test -run='^$$' -bench='^BenchmarkEngine$$|^BenchmarkEngineSetup$$|^BenchmarkEngineSparse$$' -benchmem -benchtime=5x ./internal/congest/ \
 		| tee /tmp/bench_allocs.txt \
 		| awk ' \
 		/^Benchmark/ { \
 			limit = -1; \
 			if ($$1 ~ /^BenchmarkEngineSetup\//) { if ($$1 ~ /proc=shared/) limit = 4 } \
+			else if ($$1 ~ /^BenchmarkEngineSparse\//) { \
+				if ($$1 ~ /workers=1($$|-)/) limit = 0; \
+				else if ($$1 ~ /workers=4($$|-)/) limit = 40; \
+			} \
 			else if ($$1 ~ /^BenchmarkEngine\//) { \
 				if ($$1 ~ /workers=1($$|-)/) limit = 2; \
 				else if ($$1 ~ /workers=4($$|-)/) limit = 40; \

@@ -63,12 +63,13 @@ func ScaleSweep(seed int64, maxN int) (*Table, error) {
 		ID:    "SWEEP",
 		Title: fmt.Sprintf("engine scale sweep: broadcast storm, %d rounds, workers=%d", stormRounds, max(workers, 1)),
 		Headers: []string{"graph", "n", "2m", "build ms", "net ms", "warm ms", "storm ms",
-			"ns/round", "ns/msg", "msgs", "heap MB", "B/slot",
+			"ns/round", "ns/msg", "msgs", "awake%", "heap MB", "B/slot",
 			fmt.Sprintf("bal@%d", balanceWorkers), fmt.Sprintf("nodebal@%d", balanceWorkers)},
 		Notes: []string{
 			"setup is split by stage: build = graph construction, net = NewNetwork (IDs + slot geometry), warm = first-run engine-buffer allocation; storm: the timed phase only",
 			"heap: HeapAlloc after a forced GC with the network still live (graph + engine footprint)",
 			"B/slot: Network.MemFootprint().BytesPerSlot() — resident slot-array bytes per edge slot (72 = the compaction-free SoA floor; +40 if a compacting Recv ran, +32 if a sparse RecvMsgs did)",
+			"awake%: mean stepped nodes per round / n (Network.ActivityStats) — the storm steps every node every round, so ~100 here; frontier-shaped protocols run far lower and take the sparse round path",
 			fmt.Sprintf("bal@%d: max/mean incident-edge mass per shard under the engine's edge-balanced boundaries at %d workers; nodebal@%d: the same ratio under the pre-PR-7 uniform node-count split — the skew a hub used to impose on one worker", balanceWorkers, balanceWorkers, balanceWorkers),
 			"a trailing ! on bal marks a shard pinned at the indivisible floor: one node heavier than a whole fair share (a star hub); no node-granular sharding can go lower",
 		},
@@ -160,6 +161,8 @@ func sweepInstance(seed int64, label string, g *graph.Graph, build time.Duration
 
 	nsPerRound := float64(elapsed.Nanoseconds()) / float64(max(cost.Rounds, 1))
 	nsPerMsg := float64(elapsed.Nanoseconds()) / float64(max(cost.Messages, 1))
+	stepped, _ := net.ActivityStats()
+	awake := 100 * float64(stepped) / float64(max(int64(n)*cost.Rounds, 1))
 	return []string{
 		label,
 		itoaInt(n), itoaInt(2 * g.M()),
@@ -167,6 +170,7 @@ func sweepInstance(seed int64, label string, g *graph.Graph, build time.Duration
 		itoa(elapsed.Milliseconds()),
 		fmt.Sprintf("%.0f", nsPerRound), fmt.Sprintf("%.1f", nsPerMsg),
 		itoa(cost.Messages),
+		fmt.Sprintf("%.1f", awake),
 		fmt.Sprintf("%.0f", float64(ms.HeapAlloc)/(1<<20)),
 		fmt.Sprintf("%.0f", net.MemFootprint().BytesPerSlot()),
 		balanceCell(balanced), balanceCell(uniform),

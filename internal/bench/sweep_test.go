@@ -37,6 +37,7 @@ func TestScaleSweepSmallest(t *testing.T) {
 		rows[row[0]] = row
 	}
 	msgsCol := col(t, tab.Headers, "msgs")
+	awakeCol := col(t, tab.Headers, "awake%")
 	balCol := col(t, tab.Headers, "bal@4")
 	nodebalCol := col(t, tab.Headers, "nodebal@4")
 
@@ -52,6 +53,15 @@ func TestScaleSweepSmallest(t *testing.T) {
 	// Uniform degree: both sharding schemes are near-perfect.
 	if torus[balCol] != "1.00x" || torus[nodebalCol] != "1.00x" {
 		t.Fatalf("torus balance columns %s/%s, want 1.00x/1.00x", torus[balCol], torus[nodebalCol])
+	}
+	// The storm steps every node in every broadcast round; only the final
+	// quiescence-detection rounds idle, so mean awake% sits in (80, 100].
+	awake, err := strconv.ParseFloat(torus[awakeCol], 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if awake <= 80 || awake > 100 {
+		t.Fatalf("torus storm awake%% = %v, want (80, 100]", awake)
 	}
 
 	star := rows["star"]

@@ -6,6 +6,7 @@ import (
 	"math/rand"
 	"os"
 	"runtime"
+	"slices"
 	"sort"
 	"strconv"
 	"sync"
@@ -131,6 +132,9 @@ type Network struct {
 	workers  int
 	plan     *shardPlan // cached edge-balanced shard boundaries (shard.go); nil until first parallel wave, dropped by SetWorkers/Reset
 	running  bool       // a phase is executing; guards Reset/SetWorkers/SetScenario mid-phase
+	denseOnly bool      // SetSparseRounds(false): every round takes the dense full-range path
+	stepped      int64 // Step invocations across all rounds since construction/ResetMetrics (awake%: stepped / (n * Rounds))
+	sparseRounds int64 // rounds drained from the frontier lists rather than the full node range
 	clock    int64      // global round counter across phases; stamps never repeat
 	epoch    int64      // stamp epoch base: the int32 buffer stamps encode clock-epoch (see renormStamps)
 	scenario *Scenario  // attached fault scenario (scenario.go); nil = fault-free
@@ -314,6 +318,38 @@ func (n *Network) SetWorkers(k int) {
 	n.workers = k
 }
 
+// SetSparseRounds toggles sparse-activity round execution (default on):
+// when on, a round whose frontier — the nodes active last round plus the
+// nodes woken by a delivery — fit under the engine's frontier caps is
+// drained from per-shard frontier lists in ascending node order instead of
+// scanning the whole node range, so quiet rounds cost O(awake + delivered)
+// rather than O(n + slots). Off forces the classic dense scan every round.
+//
+// The setting affects wall-clock time only: the stepped-node set, its
+// order, every PRNG stream, and all metrics are bit-identical either way
+// (the equivalence harness pins this). Exists for benchmarks and the
+// dense-vs-sparse equivalence leg; production callers leave it on. Like
+// SetWorkers, the setting is latched when a phase starts, and calling it
+// while a phase is running panics.
+func (n *Network) SetSparseRounds(on bool) {
+	if n.running {
+		panic("congest: SetSparseRounds called while a phase is running")
+	}
+	n.denseOnly = !on
+}
+
+// SparseRounds reports whether sparse-activity round execution is enabled.
+func (n *Network) SparseRounds() bool { return !n.denseOnly }
+
+// ActivityStats reports the execution-activity counters accumulated since
+// construction or the last ResetMetrics: how many node Steps ran in total
+// (the mean awake fraction is stepped / (n * Total().Rounds)) and how many
+// rounds were drained from the frontier lists instead of the full node
+// range. Purely observational — the counters never influence execution.
+func (n *Network) ActivityStats() (stepped, sparseRounds int64) {
+	return n.stepped, n.sparseRounds
+}
+
 // Total returns the cost accumulated over all phases run so far.
 func (n *Network) Total() Metrics { return n.total }
 
@@ -333,6 +369,8 @@ func (n *Network) Phases() []Phase {
 // count, entries zeroed.
 func (n *Network) ResetMetrics() {
 	n.total = Metrics{}
+	n.stepped = 0
+	n.sparseRounds = 0
 	clear(n.phases)
 	n.phases = n.phases[:0]
 }
@@ -544,6 +582,28 @@ type engineBuffers struct {
 	msgBuf      []Message
 	active      []bool
 	slots       int
+	// Frontier lists (sparse-activity round execution): two double-buffered
+	// node-index lists per round — the nodes whose last Step returned active
+	// (front*) and the nodes woken by a delivery (woke*). A round whose
+	// frontier fit under frontierCap is drained from these lists in ascending
+	// node order instead of scanning the full node range, making round cost
+	// O(awake), not O(n); dense rounds keep building them so the engine can
+	// drop back to sparse the moment activity does. Like every other engine
+	// buffer: allocation only, no init (lengths live in the run state and
+	// start at 0), reused by every phase.
+	frontA, frontB []int32
+	wokeA, wokeB   []int32
+	// dirty is the parallel engine's sender-side delivery tracking: during
+	// the step wave each worker appends the receiver of every slot write to
+	// its own segment (segmented by the shard's half-edge span, so capacity
+	// can never be exceeded — a worker sends at most its span). The
+	// coordinator merges the segments into next round's woken lists, making
+	// wake derivation O(delivered) instead of the O(slots) scan wave.
+	// Lazily allocated by the first parallel phase (ensurePool): sequential
+	// networks never pay its 4 B/slot. Published by an atomic flag so
+	// MemFootprint stays callable while a phase is stepping.
+	dirtyReady atomic.Bool
+	dirty      []int32
 }
 
 func newEngineBuffers(n *Network) *engineBuffers {
@@ -562,6 +622,10 @@ func newEngineBuffers(n *Network) *engineBuffers {
 		recvRound: make([]int32, nodes),
 		active:    make([]bool, nodes),
 		slots:     slots,
+		frontA:    make([]int32, nodes),
+		frontB:    make([]int32, nodes),
+		wokeA:     make([]int32, nodes),
+		wokeB:     make([]int32, nodes),
 	}
 }
 
@@ -642,7 +706,48 @@ type runState struct {
 	shardCtxs   []*shardCtx // per-worker Ctx + send counter, built once per parallel phase (ensurePool)
 	seqSent     int64       // the sequential engine's per-round message counter (hoisted: a per-round local escapes through the Ctx)
 	seqCtx      Ctx         // the sequential engine's one Ctx, reused every round of the phase
+
+	// Sparse-activity execution state (see frontierCap for the policy).
+	// dense is latched per round: the phase's first round always scans the
+	// full range (round == base steps everyone), and any round whose
+	// frontier recording overflowed its caps forces the next round dense.
+	dense     bool // this round drains the full node range
+	denseOnly bool // network knob (SetSparseRounds(false)): never drain sparse
+	seqCap    int  // the sequential engine's frontier-segment capacity, frontierCap(n)
+	// The frontier lists for this round (cur: drained this round) and the
+	// next (next: appended this round), swapped at flip like the delivery
+	// buffers. facts hold active nodes — appended in ascending order by the
+	// step loops, inherently duplicate-free; fwokes hold woken nodes —
+	// deduplicated against the wakeNext stamp at append time (so no new
+	// stamp surface exists for renormStamps to rebase), sorted at drain
+	// time. The parallel engine segments the same arrays by stepBounds;
+	// segment lengths live in the shardCtxs, the sequential lengths below.
+	factCur, factNext   []int32
+	fwokeCur, fwokeNext []int32
+	nActCur, nActNext   int32 // sequential list lengths (appended entries, capped at seqCap)
+	nWokeCur, nWokeNext int32 // nWokeNext counts all woken nodes; entries beyond seqCap are dropped (overflow)
 	*engineBuffers
+}
+
+// frontierCap bounds how many frontier entries a segment over m items (a
+// shard's nodes, or — for the dirty lists — a shard's half-edge span) may
+// record before the recording is declared overflowed and the next round
+// falls back to the dense path. The cap is what keeps the dense storm at
+// dense-scan cost: once a list fills, appends stop (one compare per event),
+// so a fully active round pays O(cap) extra work, not O(n). An eighth of
+// the segment keeps the sparse drain (which also sorts the woken list)
+// comfortably cheaper than the scan it replaces; the +16 slack stops tiny
+// shards from thrashing between modes. denseOnly zeroes every cap, which
+// makes overflow — and therefore the dense path — unconditional.
+func frontierCap(m int, denseOnly bool) int {
+	if denseOnly {
+		return 0
+	}
+	c := m/8 + 16
+	if c > m {
+		c = m
+	}
+	return c
 }
 
 // stampRenormThreshold is the epoch-relative round at which the engine
@@ -662,6 +767,12 @@ var stampRenormThreshold = int32(math.MaxInt32 - 8)
 // older maps to <= 0, clamped to the permanent "never written" 0 — stale
 // stamps were already unable to match any future round, and stay so.
 // O(n + 2m), amortized over ~2^31 rounds: free.
+//
+// The sparse-execution state deliberately adds no stamp surface here: the
+// frontier and dirty lists hold node indices, not stamps, and the woken
+// dedup test compares against wakeNext — already rebased below — so a
+// renormalization boundary falling between a sparse append and its drain
+// changes nothing (renorm_test.go crosses it in both modes).
 func (st *runState) renormStamps() {
 	delta := st.snow - clockBase
 	if delta <= 0 {
@@ -713,6 +824,13 @@ func newRunState(n *Network, p NodeProc, table procTable, workers int) *runState
 		snow:          int32(n.clock - n.epoch),
 		workers:       workers,
 		fault:         n.fault,
+		dense:         true, // a phase's first round steps every node, so it is dense by definition
+		denseOnly:     n.denseOnly,
+		seqCap:        frontierCap(nn, n.denseOnly),
+		factCur:       n.buf.frontA,
+		factNext:      n.buf.frontB,
+		fwokeCur:      n.buf.wokeA,
+		fwokeNext:     n.buf.wokeB,
 		engineBuffers: n.buf,
 	}
 	st.seqCtx = Ctx{st: st, sent: &st.seqSent}
@@ -727,36 +845,114 @@ func newRunState(n *Network, p NodeProc, table procTable, workers int) *runState
 }
 
 // stepRange steps the scheduled nodes of [lo, hi) through the phase's state
-// machine — the shared inner loop of the sequential engine (full range) and
+// machine — the dense inner loop of the sequential engine (full range) and
 // each parallel worker (its shard). It returns how many stepped nodes came
 // back active, which is the range's total active count: a node left
 // unstepped is never active (an active node is always scheduled, so its
 // flag is rewritten every round — crashed nodes are the one exception, and
-// their stale flags sit behind the crash check in the faulty loop).
-func (st *runState) stepRange(ctx *Ctx, lo, hi int) (active int64) {
+// their stale flags sit behind the crash check in the faulty loop), plus
+// how many nodes it stepped at all (the awake% observability counter).
+//
+// Each active node is also appended, in ascending order, to actNext — the
+// next round's active-frontier list. actNext's length is the frontier cap:
+// appends past it are dropped (active keeps counting), and the caller
+// detects the overflow as active > len(actNext) and forces the next round
+// dense, so a dropped entry is never a lost node.
+func (st *runState) stepRange(ctx *Ctx, lo, hi int, actNext []int32) (active, stepped int64) {
 	if f := st.fault; f != nil {
-		return st.stepRangeFaulty(ctx, lo, hi, f)
+		return st.stepRangeFaulty(ctx, lo, hi, actNext, f)
 	}
 	if t := st.table; t != nil {
 		for v := lo; v < hi; v++ {
 			if st.scheduled(v) {
 				ctx.v = v
+				stepped++
 				if st.active[v] = t[v].Step(ctx); st.active[v] {
+					if active < int64(len(actNext)) {
+						actNext[active] = int32(v)
+					}
 					active++
 				}
 			}
 		}
-		return active
+		return active, stepped
 	}
 	for v := lo; v < hi; v++ {
 		if st.scheduled(v) {
 			ctx.v = v
+			stepped++
 			if st.active[v] = st.proc.Step(ctx, v); st.active[v] {
+				if active < int64(len(actNext)) {
+					actNext[active] = int32(v)
+				}
 				active++
 			}
 		}
 	}
-	return active
+	return active, stepped
+}
+
+// stepFrontier is the sparse counterpart of stepRange: instead of scanning
+// [lo, hi) and testing scheduled(v) per node, it drains the round's
+// frontier — act (the nodes whose last Step returned active, inherently
+// sorted and duplicate-free) merged with woke (the nodes woken by a
+// delivery, sorted by the caller, duplicate-free by the wakeNext-stamp
+// dedup at append time) — stepping each node exactly once in ascending
+// node order. The stepped set equals {v in [lo, hi) : scheduled(v)}: act
+// reproduces the active[v] disjunct and woke the wakeCur[v] == snow-1
+// disjunct (the stamp is written iff the node is appended), and the
+// round == base disjunct never reaches here (a phase's first round is
+// dense by construction). Identical order, identical per-node work,
+// identical PRNG streams — bit-identical to the dense scan, minus the
+// O(range) walk.
+//
+// Crashed nodes are skipped exactly as the dense loop skips them; since a
+// skipped node is never re-appended, a crash also evicts the node from
+// every future frontier. Active appends follow stepRange's cap contract.
+func (st *runState) stepFrontier(ctx *Ctx, act, woke, actNext []int32) (active, stepped int64) {
+	f := st.fault
+	t := st.table
+	ia, iw := 0, 0
+	for ia < len(act) || iw < len(woke) {
+		var v int
+		switch {
+		case iw >= len(woke):
+			v = int(act[ia])
+			ia++
+		case ia >= len(act):
+			v = int(woke[iw])
+			iw++
+		case act[ia] < woke[iw]:
+			v = int(act[ia])
+			ia++
+		case woke[iw] < act[ia]:
+			v = int(woke[iw])
+			iw++
+		default: // same node on both lists: step once, advance both
+			v = int(act[ia])
+			ia++
+			iw++
+		}
+		if f != nil && f.crashed[v] {
+			continue
+		}
+		ctx.v = v
+		stepped++
+		var a bool
+		if t != nil {
+			a = t[v].Step(ctx)
+		} else {
+			a = st.proc.Step(ctx, v)
+		}
+		st.active[v] = a
+		if a {
+			if active < int64(len(actNext)) {
+				actNext[active] = int32(v)
+			}
+			active++
+		}
+	}
+	return active, stepped
 }
 
 func (st *runState) quiescent() bool {
@@ -766,9 +962,14 @@ func (st *runState) quiescent() bool {
 	if st.inFlight > 0 {
 		return false
 	}
-	// activeCount is maintained by the step waves (each worker counts its
-	// own shard), so quiescence detection is O(1) — no serial scan of the
-	// per-node active flags.
+	// activeCount is the active-frontier mass: the step loops count every
+	// node they append to (or past the cap of) the next active list, so
+	// quiescence detection is O(1) — no serial scan of the per-node active
+	// flags. Frontier emptiness and this test coincide exactly: with
+	// inFlight == 0 nothing was sent, so the woken list is empty (even a
+	// dead-port Send that was counted-then-dropped keeps inFlight > 0 and
+	// correctly defers quiescence by the round the model charges for it),
+	// and the active list is empty iff activeCount == 0.
 	return st.activeCount == 0
 }
 
@@ -786,6 +987,12 @@ func (st *runState) flip() {
 	b.curMsg, b.nextMsg = b.nextMsg, b.curMsg
 	b.curStamp, b.nextStamp = b.nextStamp, b.curStamp
 	b.wakeCur, b.wakeNext = b.wakeNext, b.wakeCur
+	// The frontier lists flip with the delivery buffers: what was appended
+	// this round is drained next round. The lengths are swapped by the
+	// engine that owns them (runState fields sequentially, shardCtxs in
+	// parallel) right after.
+	st.factCur, st.factNext = st.factNext, st.factCur
+	st.fwokeCur, st.fwokeNext = st.fwokeNext, st.fwokeCur
 	if debugPoisonRecv {
 		// Poison the expired state: any retained Recv view (recvBuf, when
 		// it exists), plus the retired slot buffer — its messages read as
@@ -807,6 +1014,11 @@ func (st *runState) flip() {
 }
 
 // step runs one synchronous round and returns the number of messages sent.
+// Sequential engine: one dense scan or one sparse frontier drain, with the
+// wake stamps and the woken-frontier list written inline by Send (single
+// writer). The mode for the next round falls out of this round's recording:
+// any list that overflowed its frontierCap forces dense; otherwise the
+// lists are complete and the next round drains them.
 func (st *runState) step() int64 {
 	if st.workers > 1 {
 		return st.stepParallel()
@@ -817,8 +1029,26 @@ func (st *runState) step() int64 {
 	}
 	st.applyFaults()
 	st.seqSent = 0
-	st.activeCount = st.stepRange(&st.seqCtx, 0, st.net.N())
+	actNext := st.factNext[:st.seqCap]
+	var active, stepped int64
+	if st.dense {
+		active, stepped = st.stepRange(&st.seqCtx, 0, st.net.N(), actNext)
+	} else {
+		// The woken list was appended in send order; the drain needs
+		// ascending node order. slices.Sort is allocation-free, keeping
+		// steady-state rounds at zero allocs.
+		woke := st.fwokeCur[:st.nWokeCur]
+		slices.Sort(woke)
+		active, stepped = st.stepFrontier(&st.seqCtx, st.factCur[:st.nActCur], woke, actNext)
+		st.net.sparseRounds++
+	}
+	st.activeCount = active
+	st.net.stepped += stepped
+	overflow := active > int64(st.seqCap) || int(st.nWokeNext) > st.seqCap
 	st.flip()
+	st.nActCur, st.nActNext = int32(min(active, int64(st.seqCap))), 0
+	st.nWokeCur, st.nWokeNext = min(st.nWokeNext, int32(st.seqCap)), 0
+	st.dense = st.denseOnly || overflow
 	st.inFlight = st.seqSent
 	st.round++
 	st.snow++

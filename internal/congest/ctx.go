@@ -13,6 +13,17 @@ type Ctx struct {
 	st   *runState
 	v    int
 	sent *int64 // messages sent through this Ctx (engine-owned counter)
+	// Sender-side dirty tracking, parallel engine only (nil selects the
+	// sequential inline-wake path in Send/Broadcast): the worker's segment
+	// of the shared dirty buffer and its entry counter. Every slot write
+	// appends its receiver here; the coordinator merges the segments into
+	// next round's woken frontier (stepParallel), so wake derivation costs
+	// O(delivered), not an O(slots) scan. The segment's length is its
+	// frontierCap: appends past it are dropped while nd keeps counting, and
+	// the coordinator reads nd > len(dirty) as overflow (fall back to the
+	// scan wave).
+	dirty []int32
+	nd    *int32
 }
 
 // Node returns the node's index. Protocol code must treat this as an opaque
@@ -240,12 +251,27 @@ func (c *Ctx) Send(p int, m Message) {
 	// instead of the packed-Incoming layout's 48. No Port prefill either —
 	// which at n = 10^6 was a 320 MB first-touch pass before any round ran.
 	b.nextMsg[slot] = m
-	if st.workers <= 1 {
-		// The parallel engine derives wake stamps in a second sharded
-		// wave after stepping (scanShard) instead: concurrent senders may
-		// share a receiver, and wakeNext[to] must have one writer at a
-		// time — receiver-sharding the scan gives it exactly one.
-		b.wakeNext[csr.PortTo[h]] = st.snow
+	if c.dirty == nil {
+		// Sequential engine: single writer, so the wake stamp is written
+		// inline — and it doubles as the woken-frontier dedup (first
+		// delivery to a node this round appends it, later ones see the
+		// stamp already set). The parallel engine cannot write wakeNext
+		// here (concurrent senders may share a receiver); it records the
+		// receiver in the worker's dirty segment instead and the
+		// coordinator derives the stamps after the step wave.
+		to := csr.PortTo[h]
+		if b.wakeNext[to] != st.snow {
+			b.wakeNext[to] = st.snow
+			if k := st.nWokeNext; int(k) < st.seqCap {
+				st.fwokeNext[k] = to
+			}
+			st.nWokeNext++
+		}
+	} else {
+		if k := *c.nd; int(k) < len(c.dirty) {
+			c.dirty[k] = csr.PortTo[h]
+		}
+		*c.nd++
 	}
 	*c.sent++
 }
@@ -293,7 +319,7 @@ func (c *Ctx) Broadcast(m Message) {
 	dest := st.net.destSlot[lo:hi]
 	b := st.engineBuffers
 	snow := st.snow
-	sequential := st.workers <= 1
+	sequential := c.dirty == nil
 	fault := st.fault
 	for i, slot := range dest {
 		if fault != nil && fault.portDead[lo+int32(i)] {
@@ -305,7 +331,20 @@ func (c *Ctx) Broadcast(m Message) {
 		b.nextStamp[slot] = snow
 		b.nextMsg[slot] = m
 		if sequential {
-			b.wakeNext[csr.PortTo[lo+int32(i)]] = snow
+			// Inline wake + woken-frontier append, as in Send.
+			to := csr.PortTo[lo+int32(i)]
+			if b.wakeNext[to] != snow {
+				b.wakeNext[to] = snow
+				if k := st.nWokeNext; int(k) < st.seqCap {
+					st.fwokeNext[k] = to
+				}
+				st.nWokeNext++
+			}
+		} else {
+			if k := *c.nd; int(k) < len(c.dirty) {
+				c.dirty[k] = csr.PortTo[lo+int32(i)]
+			}
+			*c.nd++
 		}
 	}
 	*c.sent += int64(hi - lo)

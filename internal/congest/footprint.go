@@ -30,6 +30,17 @@ type MemFootprint struct {
 	// NodeBytes is the per-node engine state: wake stamps, Recv view
 	// bookkeeping, and the active flags (17 B per node).
 	NodeBytes int64
+	// FrontierBytes is the sparse-execution frontier state: the four
+	// double-buffered active/woken node lists (16 B per node). Per-node
+	// scheduling state, not slot memory, so it is excluded from
+	// BytesPerSlot like NodeBytes.
+	FrontierBytes int64
+	// DirtyBytes is the parallel engine's sender-side dirty buffer
+	// (4 B/slot), lazily allocated by the first parallel phase — zero on a
+	// network that has only ever run sequentially. Excluded from
+	// BytesPerSlot: it is wake-scheduling scratch, not part of the
+	// flipping delivery core the metric tracks.
+	DirtyBytes int64
 	// IDBytes is the identifier layer: node IDs plus the sorted mapless
 	// NodeByID index (20 B per node).
 	IDBytes int64
@@ -37,7 +48,7 @@ type MemFootprint struct {
 
 // Total sums every component.
 func (f MemFootprint) Total() int64 {
-	return f.SlotBytes + f.RecvViewBytes + f.MsgViewBytes + f.GeometryBytes + f.NodeBytes + f.IDBytes
+	return f.SlotBytes + f.RecvViewBytes + f.MsgViewBytes + f.GeometryBytes + f.NodeBytes + f.FrontierBytes + f.DirtyBytes + f.IDBytes
 }
 
 // BytesPerSlot is the resident slot-array bytes per edge slot: the flipping
@@ -88,5 +99,9 @@ func (n *Network) MemFootprint() MemFootprint {
 	}
 	f.NodeBytes = i32Size*int64(len(b.wakeCur)+len(b.wakeNext)+len(b.recvLen)+len(b.recvRound)) +
 		boolSize*int64(len(b.active))
+	f.FrontierBytes = i32Size * int64(len(b.frontA)+len(b.frontB)+len(b.wokeA)+len(b.wokeB))
+	if b.dirtyReady.Load() {
+		f.DirtyBytes = i32Size * int64(len(b.dirty))
+	}
 	return f
 }

@@ -1,5 +1,7 @@
 package congest
 
+import "slices"
+
 // The parallel engine executes the same round structure as the sequential
 // one, but shards node stepping across a persistent worker pool.
 // Determinism is preserved by construction:
@@ -36,12 +38,16 @@ package congest
 type job func(i int) shardDone
 
 // shardDone is one worker's end-of-wave report: how many messages its
-// nodes sent, how many of them stepped active, and a recovered protocol
-// panic if any. Waves that only mutate shard state report zeroes.
+// nodes sent, how many of them stepped active, how many stepped at all
+// (the awake% counter), whether the shard's frontier recording overflowed
+// its cap (forcing the next round dense), and a recovered protocol panic
+// if any. Waves that only mutate shard state report zeroes.
 type shardDone struct {
-	sent   int64
-	active int64
-	rec    any
+	sent    int64
+	active  int64
+	stepped int64
+	over    bool
+	rec     any
 }
 
 // pool is a worker pool of parked goroutines: workers park between waves
@@ -84,26 +90,27 @@ func runShard(j job, i int) (res shardDone) {
 }
 
 // wave runs one job on every worker and blocks until all report,
-// accumulating the reports. The first recovered panic is re-raised on the
-// caller's goroutine, after the barrier, exactly as the sequential engine
-// would surface it.
-func (p *pool) wave(j job) (sent, active int64) {
+// accumulating the reports (counters summed, overflow flags ORed). The
+// first recovered panic is re-raised on the caller's goroutine, after the
+// barrier, exactly as the sequential engine would surface it.
+func (p *pool) wave(j job) (sum shardDone) {
 	for _, ch := range p.start {
 		ch <- j
 	}
-	var rec any
 	for range p.start {
 		res := <-p.done
-		sent += res.sent
-		active += res.active
-		if res.rec != nil && rec == nil {
-			rec = res.rec
+		sum.sent += res.sent
+		sum.active += res.active
+		sum.stepped += res.stepped
+		sum.over = sum.over || res.over
+		if res.rec != nil && sum.rec == nil {
+			sum.rec = res.rec
 		}
 	}
-	if rec != nil {
-		panic(rec)
+	if sum.rec != nil {
+		panic(sum.rec)
 	}
-	return sent, active
+	return sum
 }
 
 // close releases the pool's workers.
@@ -152,13 +159,23 @@ func shardBlock(i, k, n int) (lo, hi int) {
 	return i * n / k, (i + 1) * n / k
 }
 
-// shardCtx is one worker's phase-lifetime Ctx and message counter. Each is
-// a separate heap object, padded past a cache line, so two workers' ctx.v
-// and sent stores (written on every node step) never share a line.
+// shardCtx is one worker's phase-lifetime Ctx, message counter, and
+// frontier-list lengths. Each is a separate heap object, padded past a
+// cache line, so two workers' ctx.v and sent stores (written on every node
+// step) never share a line. The list lengths follow the same ownership as
+// the lists they measure: nActCur/nActNext and nDirty are written only by
+// the owning worker during a wave, nWokeCur/nWokeNext only by the
+// coordinator between waves (the merge), with the wave barrier ordering
+// the handoffs.
 type shardCtx struct {
-	ctx  Ctx
-	sent int64
-	_    [96]byte
+	ctx       Ctx
+	sent      int64
+	nActCur   int32 // entries in this shard's current active-frontier segment
+	nActNext  int32 // entries appended to the next segment this round
+	nWokeCur  int32 // entries in this shard's current woken-frontier segment
+	nWokeNext int32 // entries the coordinator merge appended for next round
+	nDirty    int32 // receivers recorded in this worker's dirty segment (counts past the cap on overflow)
+	_         [96]byte
 }
 
 func (st *runState) ensurePool() {
@@ -170,13 +187,29 @@ func (st *runState) ensurePool() {
 	// most (the network caches the plan per worker count; see shard.go).
 	plan := st.net.shardPlan(st.workers)
 	st.stepBounds, st.slotBounds = plan.step, plan.slot
+	// The sender-side dirty buffer: one int32 per slot, segmented below by
+	// each worker's half-edge span (a worker's sends never exceed its
+	// span, so a segment can never be short — only its frontierCap prefix
+	// is recorded, the rest is declared overflow). Allocated on the first
+	// parallel phase of the network's life and reused forever; sequential
+	// networks never pay it. The atomic flag publishes the slice header
+	// for MemFootprint, which may read concurrently with a phase.
+	b := st.engineBuffers
+	if b.dirty == nil {
+		b.dirty = make([]int32, b.slots)
+		b.dirtyReady.Store(true)
+	}
 	// Per-worker Ctxs, hoisted to phase setup: a per-wave Ctx (and its
 	// escaping sent counter) would cost two allocations per worker per
 	// round — the parallel engine's last per-round allocations.
+	rs := st.net.csr.RowStart
 	st.shardCtxs = make([]*shardCtx, st.workers)
 	for i := range st.shardCtxs {
 		sc := &shardCtx{}
-		sc.ctx = Ctx{st: st, sent: &sc.sent}
+		base := int(rs[st.stepBounds[i]])
+		span := int(rs[st.stepBounds[i+1]]) - base
+		seg := b.dirty[base : base+frontierCap(span, st.denseOnly)]
+		sc.ctx = Ctx{st: st, sent: &sc.sent, dirty: seg, nd: &sc.nDirty}
 		st.shardCtxs[i] = sc
 	}
 	// The two round waves are hoisted closures: allocating them per round
@@ -199,17 +232,87 @@ func (st *runState) close() {
 	st.pool = nil
 }
 
-// stepShard steps worker i's nodes and reports its message and active
-// counts. Its block comes from the sender-weighted edge-balanced
+// stepShard steps worker i's nodes and reports its message, active, and
+// stepped counts. Its block comes from the sender-weighted edge-balanced
 // boundaries (mass = 1 + deg), so a hub's send work does not serialize a
-// worker that also owns an equal count of other nodes.
+// worker that also owns an equal count of other nodes. Dense rounds scan
+// the whole block; sparse rounds drain the shard's segment of the frontier
+// lists (sorting the woken segment first — it was appended by the
+// coordinator merge in wakeNext-stamp order, and the drain needs ascending
+// node order). Either way the shard's next active segment is appended and
+// its length published for the next round.
 func (st *runState) stepShard(i int) (res shardDone) {
 	lo, hi := int(st.stepBounds[i]), int(st.stepBounds[i+1])
 	sc := st.shardCtxs[i]
 	sc.sent = 0
-	res.active = st.stepRange(&sc.ctx, lo, hi)
+	actNext := st.factNext[lo : lo+frontierCap(hi-lo, st.denseOnly)]
+	if st.dense {
+		res.active, res.stepped = st.stepRange(&sc.ctx, lo, hi, actNext)
+	} else {
+		woke := st.fwokeCur[lo : lo+int(sc.nWokeCur)]
+		slices.Sort(woke)
+		act := st.factCur[lo : lo+int(sc.nActCur)]
+		res.active, res.stepped = st.stepFrontier(&sc.ctx, act, woke, actNext)
+	}
+	sc.nActNext = int32(min(res.active, int64(len(actNext))))
+	res.over = res.active > int64(len(actNext))
 	res.sent = sc.sent
 	return res
+}
+
+// mergeDirty is the sparse wake derivation: the coordinator walks every
+// worker's dirty segment (the receivers of this round's slot writes, in
+// send order), stamps each first-seen receiver's wakeNext — exactly the
+// stamp the scan wave would derive, deduplicated by the stamp itself — and
+// appends it to the receiver shard's woken-frontier segment for next
+// round's drain. Runs between waves, so it is the single wakeNext writer;
+// cost is O(delivered), the whole point. Returns whether any woken segment
+// overflowed its cap (the entry is dropped but still stamped, and the next
+// round falls back dense, so nothing is lost).
+//
+// Callers must ensure no dirty segment itself overflowed (nDirty past the
+// segment length) before merging: an overflowed segment is missing
+// receivers, and the scan wave is the fallback that derives their stamps.
+func (st *runState) mergeDirty() (overflow bool) {
+	b := st.engineBuffers
+	snow := st.snow
+	sb := st.stepBounds
+	rs := st.net.csr.RowStart
+	k := len(st.shardCtxs)
+	for w := 0; w < k; w++ {
+		sc := st.shardCtxs[w]
+		nd := int(sc.nDirty)
+		if nd == 0 {
+			continue
+		}
+		seg := b.dirty[rs[sb[w]]:]
+		for _, to := range seg[:nd] {
+			if b.wakeNext[to] != snow {
+				b.wakeNext[to] = snow
+				// Receiver to's shard: the unique i with sb[i] <= to < sb[i+1].
+				// Hand-rolled binary search — a sort.Search closure here would
+				// put an allocation back in the steady-state round loop.
+				lo, hi := 0, k-1
+				for lo < hi {
+					mid := int(uint(lo+hi) >> 1)
+					if sb[mid+1] > to {
+						hi = mid
+					} else {
+						lo = mid + 1
+					}
+				}
+				tc := st.shardCtxs[lo]
+				slo, shi := int(sb[lo]), int(sb[lo+1])
+				if int(tc.nWokeNext) < frontierCap(shi-slo, st.denseOnly) {
+					st.fwokeNext[slo+int(tc.nWokeNext)] = to
+				} else {
+					overflow = true
+				}
+				tc.nWokeNext++
+			}
+		}
+	}
+	return overflow
 }
 
 // scanShard is the second barrier phase of a parallel round: worker i
@@ -248,22 +351,56 @@ func (st *runState) stepParallel() int64 {
 	}
 	st.applyFaults()
 	st.ensurePool()
-	sent, active := st.pool.wave(st.stepJob)
-	st.activeCount = active
-	// Wake scan, sharded across the same workers (second barrier phase).
-	// The sequential engine writes no wake stamps when nothing was sent, so
-	// skipping the wave on sent == 0 is exact, not an approximation.
-	if sent > 0 {
-		st.pool.wave(st.scanJob)
+	if !st.dense {
+		st.net.sparseRounds++
 	}
-	// With the active count summed per shard above and quiescence read off
-	// it, the coordinator's serial work this round was O(workers) channel
-	// operations — no per-node or per-slot serial pass anywhere.
+	res := st.pool.wave(st.stepJob)
+	st.activeCount = res.active
+	st.net.stepped += res.stepped
+	overflow := res.over
+	// Wake derivation. The sequential engine writes no wake stamps when
+	// nothing was sent, so skipping everything on sent == 0 is exact (the
+	// empty woken lists are then complete, not stale). Otherwise: if every
+	// worker's dirty segment held all its receivers, the coordinator merge
+	// stamps and enqueues them in O(delivered); if any segment overflowed
+	// its cap, fall back to the classic slot-scan wave — it derives the
+	// same stamps from the slots themselves, but builds no woken lists, so
+	// the next round is dense. The caps make that fallback cheap to reach:
+	// a worker stops appending after ~span/8 entries, so a storm round
+	// pays O(cap) recording on top of the scan it was already doing.
+	if res.sent > 0 {
+		dirtyOver := false
+		rs := st.net.csr.RowStart
+		for w, sc := range st.shardCtxs {
+			span := int(rs[st.stepBounds[w+1]]) - int(rs[st.stepBounds[w]])
+			if int(sc.nDirty) > frontierCap(span, st.denseOnly) {
+				dirtyOver = true
+				break
+			}
+		}
+		if dirtyOver {
+			st.pool.wave(st.scanJob)
+			overflow = true
+		} else if st.mergeDirty() {
+			overflow = true
+		}
+	}
+	// Retire this round's recording state: dirty counters restart, each
+	// shard's next-lists become its current lists. With the active count
+	// summed per shard above and quiescence read off it, the coordinator's
+	// serial work this round was O(workers + delivered) — no per-node or
+	// per-slot serial pass anywhere.
+	for _, sc := range st.shardCtxs {
+		sc.nDirty = 0
+		sc.nActCur, sc.nActNext = sc.nActNext, 0
+		sc.nWokeCur, sc.nWokeNext = sc.nWokeNext, 0
+	}
 	st.flip()
-	st.inFlight = sent
+	st.dense = st.denseOnly || overflow
+	st.inFlight = res.sent
 	st.round++
 	st.snow++
-	return sent
+	return res.sent
 }
 
 // minParallelFillNodes gates the sharded geometry fill: below this the

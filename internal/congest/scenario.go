@@ -445,27 +445,39 @@ func (st *runState) killEdge(h int32) {
 
 // stepRangeFaulty is stepRange with the fault checks: crashed nodes are
 // never stepped (their stale active flags are unreadable behind the crash
-// check), everything else is the shared scheduling contract. Kept separate
-// so the fault-free hot loops in stepRange stay branch-free.
-func (st *runState) stepRangeFaulty(ctx *Ctx, lo, hi int, f *faultState) (active int64) {
+// check), everything else is the shared scheduling contract — including the
+// active-frontier recording, so a crashed node is dropped from the lists
+// the same round applyFaults marks it (it is skipped here and therefore
+// never re-appended; the sparse drain applies the identical crash check to
+// entries appended before the crash landed). Kept separate so the
+// fault-free hot loops in stepRange stay branch-free.
+func (st *runState) stepRangeFaulty(ctx *Ctx, lo, hi int, actNext []int32, f *faultState) (active, stepped int64) {
 	if t := st.table; t != nil {
 		for v := lo; v < hi; v++ {
 			if !f.crashed[v] && st.scheduled(v) {
 				ctx.v = v
+				stepped++
 				if st.active[v] = t[v].Step(ctx); st.active[v] {
+					if active < int64(len(actNext)) {
+						actNext[active] = int32(v)
+					}
 					active++
 				}
 			}
 		}
-		return active
+		return active, stepped
 	}
 	for v := lo; v < hi; v++ {
 		if !f.crashed[v] && st.scheduled(v) {
 			ctx.v = v
+			stepped++
 			if st.active[v] = st.proc.Step(ctx, v); st.active[v] {
+				if active < int64(len(actNext)) {
+					actNext[active] = int32(v)
+				}
 				active++
 			}
 		}
 	}
-	return active
+	return active, stepped
 }
